@@ -1,0 +1,68 @@
+// Command peibench regenerates the paper's evaluation figures.
+//
+// Examples:
+//
+//	peibench -exp fig6                # Figure 6 at laptop scale
+//	peibench -exp all -out results.txt
+//	peibench -exp fig9 -pairs 200     # the paper's full mix count
+//	peibench -exp fig6 -full -scale 1 # paper-scale machine and inputs (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"pimsim/pei"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig2|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|sec7.6|fig12|ablations|all")
+		scale   = flag.Int("scale", 64, "input scale divisor (1 = paper-size inputs)")
+		budget  = flag.Int64("budget", 60000, "per-thread op budget (0 = run to completion)")
+		pairs   = flag.Int("pairs", 40, "multiprogrammed mixes for fig9 (paper: 200)")
+		full    = flag.Bool("full", false, "use the full Table 2 machine")
+		only    = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		out     = flag.String("out", "", "write tables to this file as well as stdout")
+		verbose = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	opts := pei.DefaultReproduceOptions()
+	opts.Scale = *scale
+	opts.OpBudget = *budget
+	opts.Pairs = *pairs
+	if *full {
+		opts.Cfg = pei.BaselineConfig()
+	}
+	if *only != "" {
+		opts.Workloads = strings.Split(*only, ",")
+	}
+	if *verbose {
+		opts.Verbose = os.Stderr
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "peibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(w, "PEI reproduction — experiment %s (scale 1/%d, budget %d ops/thread)\n\n",
+		*exp, *scale, *budget)
+	start := time.Now()
+	if err := pei.Reproduce(*exp, opts, w); err != nil {
+		fmt.Fprintln(os.Stderr, "peibench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "completed in %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,125 @@
+// Command peisim runs one workload on one simulated machine
+// configuration and reports timing, steering, traffic, and energy.
+//
+// Examples:
+//
+//	peisim -workload pr -size medium -mode locality -scale 64
+//	peisim -workload hj -size large -mode pim -budget 200000 -stats
+//	peisim -workload bfs -size small -scale 512 -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pimsim/pei"
+)
+
+func parseMode(s string) (pei.Mode, error) {
+	switch strings.ToLower(s) {
+	case "host", "host-only":
+		return pei.HostOnly, nil
+	case "pim", "pim-only":
+		return pei.PIMOnly, nil
+	case "locality", "locality-aware", "la":
+		return pei.LocalityAware, nil
+	case "ideal", "ideal-host":
+		return pei.IdealHost, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (host|pim|locality|ideal)", s)
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "pr", "workload: "+strings.Join(pei.WorkloadNames, "|"))
+		sizeStr  = flag.String("size", "small", "input size: small|medium|large")
+		modeStr  = flag.String("mode", "locality", "execution mode: host|pim|locality|ideal")
+		scale    = flag.Int("scale", 64, "input scale divisor (1 = paper-size inputs)")
+		budget   = flag.Int64("budget", 0, "per-thread op budget (0 = run to completion)")
+		threads  = flag.Int("threads", 0, "threads (default: all cores)")
+		full     = flag.Bool("full", false, "use the full Table 2 machine instead of the scaled one")
+		cfgPath  = flag.String("config", "", "JSON machine config (overrides -full)")
+		verify   = flag.Bool("verify", false, "verify functional results (requires -budget 0)")
+		stats    = flag.Bool("stats", false, "dump all counters")
+		balanced = flag.Bool("balanced", false, "enable balanced dispatch (§7.4)")
+	)
+	flag.Parse()
+
+	cfg := pei.ScaledConfig()
+	if *full {
+		cfg = pei.BaselineConfig()
+	}
+	if *cfgPath != "" {
+		var err error
+		cfg, err = pei.LoadConfig(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cfg.BalancedDispatch = *balanced
+
+	mode, err := parseMode(*modeStr)
+	if err != nil {
+		fatal(err)
+	}
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fatal(err)
+	}
+	nThreads := *threads
+	if nThreads <= 0 {
+		nThreads = cfg.Cores
+	}
+
+	params := pei.WorkloadParams{Threads: nThreads, Size: size, Scale: *scale, OpBudget: *budget}
+	res, err := pei.RunWorkload(cfg, mode, *workload, params, *verify)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload        %s (%s inputs, scale 1/%d, %d threads)\n", *workload, size, *scale, nThreads)
+	fmt.Printf("mode            %s\n", res.Mode)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("ops retired     %d (IPC %.3f)\n", res.Retired, res.IPC())
+	fmt.Printf("PEIs            %d (%d host, %d memory, %.1f%% PIM)\n",
+		res.PEIHost+res.PEIMem, res.PEIHost, res.PEIMem, 100*res.PIMFraction())
+	fmt.Printf("off-chip bytes  %d\n", res.OffchipBytes)
+	fmt.Printf("DRAM accesses   %d\n", res.DRAMAccesses)
+	fmt.Printf("energy (nJ)     %.0f (caches %.0f, DRAM %.0f, links %.0f, TSV %.0f, PCU %.0f, PMU %.0f)\n",
+		res.Energy.Total(), res.Energy.Caches, res.Energy.DRAM, res.Energy.Offchip,
+		res.Energy.TSV, res.Energy.PCU, res.Energy.PMU)
+	if *verify {
+		fmt.Println("verification    OK")
+	}
+	if *stats {
+		fmt.Println()
+		keys := make([]string, 0, len(res.Stats))
+		for k := range res.Stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("%-40s %d\n", k, res.Stats[k])
+		}
+	}
+}
+
+func parseSize(s string) (pei.Size, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return pei.Small, nil
+	case "medium":
+		return pei.Medium, nil
+	case "large":
+		return pei.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peisim:", err)
+	os.Exit(1)
+}

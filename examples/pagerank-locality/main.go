@@ -1,0 +1,55 @@
+// PageRank locality study: the paper's flagship example (§2.2, Figure 1).
+// Runs PageRank over a cache-resident graph and a memory-resident graph
+// under the three execution policies, showing the crossover that
+// motivates locality-aware PEI execution.
+//
+//	go run ./examples/pagerank-locality
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimsim/pei"
+)
+
+func run(size pei.Size, scale int, mode pei.Mode) pei.Result {
+	cfg := pei.ScaledConfig()
+	params := pei.WorkloadParams{Threads: cfg.Cores, Size: size, Scale: scale}
+	res, err := pei.RunWorkload(cfg, mode, "pr", params, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("PageRank under the three policies (atomic float-add PEIs, Figure 1)")
+	fmt.Println()
+
+	cases := []struct {
+		label string
+		size  pei.Size
+		scale int
+	}{
+		{"cache-resident graph (fits in L3)", pei.Small, 1024},
+		{"memory-resident graph (spills L3)", pei.Large, 64},
+	}
+	for _, c := range cases {
+		host := run(c.size, c.scale, pei.HostOnly)
+		mem := run(c.size, c.scale, pei.PIMOnly)
+		la := run(c.size, c.scale, pei.LocalityAware)
+		fmt.Printf("%s:\n", c.label)
+		fmt.Printf("  Host-Only       %10d cycles\n", host.Cycles)
+		fmt.Printf("  PIM-Only        %10d cycles (%.2fx vs host)\n",
+			mem.Cycles, float64(host.Cycles)/float64(mem.Cycles))
+		fmt.Printf("  Locality-Aware  %10d cycles (%.2fx vs host), %.1f%% of PEIs offloaded\n",
+			la.Cycles, float64(host.Cycles)/float64(la.Cycles), 100*la.PIMFraction())
+		fmt.Printf("  off-chip bytes: host %d, pim %d, locality-aware %d\n",
+			host.OffchipBytes, mem.OffchipBytes, la.OffchipBytes)
+		fmt.Println()
+	}
+	fmt.Println("locality-aware execution tracks the better policy on both ends —")
+	fmt.Println("and on power-law graphs it splits per vertex: hot (high-degree)")
+	fmt.Println("vertices stay on the host, cold ones go to memory (§7.1).")
+}

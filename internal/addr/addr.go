@@ -1,0 +1,101 @@
+// Package addr defines the simulated physical address space: cache-block
+// arithmetic, the XOR-folding hash the paper uses for the PIM directory
+// index and the locality monitor's partial tags, and the mapping from
+// physical addresses to HMC cube / vault / DRAM bank / row.
+package addr
+
+import "fmt"
+
+const (
+	// BlockBytes is the last-level cache block size; the single-cache-block
+	// restriction means every PEI targets exactly one such block.
+	BlockBytes = 64
+	// BlockShift is log2(BlockBytes).
+	BlockShift = 6
+)
+
+// BlockOf returns the block number containing physical address a.
+func BlockOf(a uint64) uint64 { return a >> BlockShift }
+
+// BlockBase returns the first byte address of a's block.
+func BlockBase(a uint64) uint64 { return a &^ uint64(BlockBytes-1) }
+
+// XORFold folds x into a value of the given bit width by XORing
+// successive width-bit chunks, the hash the paper prescribes for the
+// tag-less PIM directory index and the 10-bit partial tags of the
+// locality monitor.
+func XORFold(x uint64, bits uint) uint64 {
+	if bits == 0 || bits > 63 {
+		panic(fmt.Sprintf("addr: XORFold width %d out of range", bits))
+	}
+	mask := uint64(1)<<bits - 1
+	var folded uint64
+	for x != 0 {
+		folded ^= x & mask
+		x >>= bits
+	}
+	return folded
+}
+
+// Location identifies a DRAM resource: cube on the chain, vault within
+// the cube, bank within the vault, and DRAM row within the bank.
+type Location struct {
+	Cube  int
+	Vault int
+	Bank  int
+	Row   uint64
+}
+
+// Mapping distributes cache blocks across the memory system. Consecutive
+// blocks interleave across cubes, then vaults, then banks (maximizing
+// parallelism for streams); the remaining quotient selects the column
+// within a row and then the row, giving FR-FCFS row-buffer locality to
+// strided revisits of the same bank.
+type Mapping struct {
+	Cubes         int
+	VaultsPerCube int
+	BanksPerVault int
+	// RowBytes is the DRAM row (page) size per bank.
+	RowBytes int
+	// InterleaveBlocks is how many consecutive blocks stay in one cube
+	// before moving to the next (1 = fully interleaved).
+	InterleaveBlocks int
+}
+
+// Validate reports whether the mapping's parameters are usable.
+func (m Mapping) Validate() error {
+	switch {
+	case m.Cubes <= 0:
+		return fmt.Errorf("addr: Cubes = %d, must be positive", m.Cubes)
+	case m.VaultsPerCube <= 0:
+		return fmt.Errorf("addr: VaultsPerCube = %d, must be positive", m.VaultsPerCube)
+	case m.BanksPerVault <= 0:
+		return fmt.Errorf("addr: BanksPerVault = %d, must be positive", m.BanksPerVault)
+	case m.RowBytes < BlockBytes:
+		return fmt.Errorf("addr: RowBytes = %d, must be at least one block", m.RowBytes)
+	case m.InterleaveBlocks <= 0:
+		return fmt.Errorf("addr: InterleaveBlocks = %d, must be positive", m.InterleaveBlocks)
+	}
+	return nil
+}
+
+// Locate maps a physical byte address to its DRAM location.
+func (m Mapping) Locate(a uint64) Location {
+	b := BlockOf(a)
+	ilv := uint64(m.InterleaveBlocks)
+	group := b / ilv
+	cube := int(group % uint64(m.Cubes))
+	group /= uint64(m.Cubes)
+	vault := int(group % uint64(m.VaultsPerCube))
+	group /= uint64(m.VaultsPerCube)
+	bank := int(group % uint64(m.BanksPerVault))
+	group /= uint64(m.BanksPerVault)
+	// group now counts block-groups within this bank; convert to blocks
+	// and divide by blocks per row for the row index.
+	blockInBank := group*ilv + b%ilv
+	row := blockInBank / uint64(m.RowBytes/BlockBytes)
+	return Location{Cube: cube, Vault: vault, Bank: bank, Row: row}
+}
+
+// VaultsTotal returns the total number of vaults in the system.
+func (m Mapping) VaultsTotal() int { return m.Cubes * m.VaultsPerCube }

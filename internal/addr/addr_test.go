@@ -1,0 +1,153 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockArithmetic(t *testing.T) {
+	if BlockOf(0) != 0 || BlockOf(63) != 0 || BlockOf(64) != 1 {
+		t.Fatal("BlockOf wrong")
+	}
+	if BlockBase(130) != 128 {
+		t.Fatalf("BlockBase(130) = %d, want 128", BlockBase(130))
+	}
+}
+
+func TestXORFoldWidth(t *testing.T) {
+	for _, bits := range []uint{1, 10, 11, 16, 32} {
+		for _, x := range []uint64{0, 1, 0xdeadbeef, ^uint64(0)} {
+			v := XORFold(x, bits)
+			if v >= 1<<bits {
+				t.Fatalf("XORFold(%#x,%d) = %#x exceeds width", x, bits, v)
+			}
+		}
+	}
+}
+
+func TestXORFoldKnownValues(t *testing.T) {
+	// 0xABCD folded to 8 bits: 0xAB ^ 0xCD = 0x66.
+	if got := XORFold(0xABCD, 8); got != 0x66 {
+		t.Fatalf("XORFold(0xABCD,8) = %#x, want 0x66", got)
+	}
+	if got := XORFold(0, 10); got != 0 {
+		t.Fatalf("XORFold(0,10) = %d, want 0", got)
+	}
+}
+
+// Property: XORFold is deterministic and self-inverse under chunk XOR:
+// folding x and folding x^(y<<bits) differ by fold of the injected chunk.
+func TestXORFoldProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		return XORFold(x, 10) == XORFold(x, 10) && XORFold(x, 10) < 1024
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func baselineMapping() Mapping {
+	return Mapping{Cubes: 8, VaultsPerCube: 16, BanksPerVault: 16, RowBytes: 8192, InterleaveBlocks: 1}
+}
+
+func TestMappingValidate(t *testing.T) {
+	m := baselineMapping()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m
+	bad.RowBytes = 32
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for tiny RowBytes")
+	}
+	bad = m
+	bad.Cubes = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected error for zero cubes")
+	}
+}
+
+func TestMappingInterleavesAcrossCubes(t *testing.T) {
+	m := baselineMapping()
+	for i := 0; i < 8; i++ {
+		loc := m.Locate(uint64(i * BlockBytes))
+		if loc.Cube != i {
+			t.Fatalf("block %d -> cube %d, want %d", i, loc.Cube, i)
+		}
+		if loc.Vault != 0 || loc.Bank != 0 || loc.Row != 0 {
+			t.Fatalf("block %d unexpected location %+v", i, loc)
+		}
+	}
+	// Block 8 wraps to cube 0, vault 1.
+	loc := m.Locate(8 * BlockBytes)
+	if loc.Cube != 0 || loc.Vault != 1 {
+		t.Fatalf("block 8 -> %+v, want cube 0 vault 1", loc)
+	}
+}
+
+func TestMappingRowAdvances(t *testing.T) {
+	m := baselineMapping()
+	blocksPerRow := uint64(m.RowBytes / BlockBytes)               // 128
+	stride := uint64(m.Cubes * m.VaultsPerCube * m.BanksPerVault) // 2048 blocks between same-bank visits
+	first := m.Locate(0)
+	same := m.Locate(stride * BlockBytes)
+	if same.Cube != first.Cube || same.Vault != first.Vault || same.Bank != first.Bank {
+		t.Fatalf("stride revisit moved banks: %+v vs %+v", first, same)
+	}
+	if same.Row != 0 {
+		t.Fatalf("stride revisit row = %d, want 0", same.Row)
+	}
+	far := m.Locate(stride * blocksPerRow * BlockBytes)
+	if far.Row != 1 {
+		t.Fatalf("row after %d same-bank blocks = %d, want 1", blocksPerRow, far.Row)
+	}
+}
+
+// Property: every address maps to in-range resources, and addresses in
+// the same block map to the same location.
+func TestMappingRangeProperty(t *testing.T) {
+	m := baselineMapping()
+	f := func(a uint64) bool {
+		a &= (1 << 40) - 1 // constrain to 1 TB
+		loc := m.Locate(a)
+		loc2 := m.Locate(BlockBase(a))
+		return loc == loc2 &&
+			loc.Cube >= 0 && loc.Cube < m.Cubes &&
+			loc.Vault >= 0 && loc.Vault < m.VaultsPerCube &&
+			loc.Bank >= 0 && loc.Bank < m.BanksPerVault
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the mapping is balanced — a long run of consecutive blocks
+// spreads evenly (within one block) across all vaults of all cubes.
+func TestMappingBalance(t *testing.T) {
+	m := baselineMapping()
+	counts := make(map[[2]int]int)
+	n := 4096
+	for i := 0; i < n; i++ {
+		loc := m.Locate(uint64(i * BlockBytes))
+		counts[[2]int{loc.Cube, loc.Vault}]++
+	}
+	want := n / m.VaultsTotal()
+	for k, c := range counts {
+		if c != want {
+			t.Fatalf("vault %v got %d blocks, want %d", k, c, want)
+		}
+	}
+}
+
+func TestMappingCoarseInterleave(t *testing.T) {
+	m := baselineMapping()
+	m.InterleaveBlocks = 4
+	for i := 0; i < 4; i++ {
+		if loc := m.Locate(uint64(i * BlockBytes)); loc.Cube != 0 {
+			t.Fatalf("block %d should stay in cube 0, got %+v", i, loc)
+		}
+	}
+	if loc := m.Locate(4 * BlockBytes); loc.Cube != 1 {
+		t.Fatalf("block 4 should move to cube 1, got %+v", loc)
+	}
+}

@@ -1,0 +1,151 @@
+// Package cache implements the on-chip memory hierarchy: a generic
+// set-associative tag array (Cache) and the three-level inclusive MESI
+// hierarchy (Hierarchy) connecting the cores' private L1/L2 caches
+// through a crossbar to a banked shared L3 and the HMC chain behind it.
+//
+// The caches are timing-structural: real tag arrays, real LRU, real
+// MSHRs, real writeback traffic — but no data arrays. Functional values
+// are maintained by the workload layer; the hierarchy decides only *when*
+// things happen and *how many bytes* move, which is what the paper's
+// results depend on.
+package cache
+
+// State is a MESI-style line state. The shared L3 tracks sharers
+// explicitly, so private lines only distinguish Invalid/Shared/Exclusive/
+// Modified.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	default:
+		return "M"
+	}
+}
+
+// Line is one tag-array entry. Key is the full block key (equivalent to
+// tag plus set index), kept whole so victims can be written back without
+// reconstructing addresses.
+type Line struct {
+	Key   uint64
+	State State
+	Dirty bool
+	// Sharers is a core bitmask, used only in the L3 (directory bits).
+	Sharers uint64
+	lru     uint64
+}
+
+// Cache is a set-associative tag array with true-LRU replacement. Keys
+// are block numbers (the caller applies any banking division first).
+type Cache struct {
+	sets, ways int
+	lines      []Line
+	clock      uint64
+
+	// Hits and Misses count Lookup outcomes.
+	Hits, Misses int64
+}
+
+// New creates a cache with the given geometry. sets must be a power of
+// two.
+func New(sets, ways int) *Cache {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic("cache: bad geometry")
+	}
+	return &Cache{sets: sets, ways: ways, lines: make([]Line, sets*ways)}
+}
+
+// Sets and Ways report the geometry.
+func (c *Cache) Sets() int { return c.sets }
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) set(key uint64) []Line {
+	s := int(key) & (c.sets - 1)
+	return c.lines[s*c.ways : (s+1)*c.ways]
+}
+
+// Lookup finds key and promotes it in LRU order on a hit. It returns the
+// line for in-place state updates, or nil on miss.
+func (c *Cache) Lookup(key uint64) *Line {
+	set := c.set(key)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Key == key {
+			c.clock++
+			set[i].lru = c.clock
+			c.Hits++
+			return &set[i]
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek finds key without touching LRU or hit/miss counters.
+func (c *Cache) Peek(key uint64) *Line {
+	set := c.set(key)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Key == key {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the line that Insert would replace for key: an invalid
+// way if present, else the LRU way. The returned line still holds the
+// victim's metadata; the caller handles any writeback, then calls Insert.
+func (c *Cache) Victim(key uint64) *Line {
+	set := c.set(key)
+	best := &set[0]
+	for i := range set {
+		if set[i].State == Invalid {
+			return &set[i]
+		}
+		if set[i].lru < best.lru {
+			best = &set[i]
+		}
+	}
+	return best
+}
+
+// Insert installs key into the given victim line (obtained from Victim)
+// with the supplied state, resetting dirty/sharers and promoting it.
+func (c *Cache) Insert(victim *Line, key uint64, st State) {
+	c.clock++
+	*victim = Line{Key: key, State: st, lru: c.clock}
+}
+
+// Invalidate removes key if present, returning the line's prior contents
+// and whether it was present.
+func (c *Cache) Invalidate(key uint64) (Line, bool) {
+	set := c.set(key)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Key == key {
+			old := set[i]
+			set[i] = Line{}
+			return old, true
+		}
+	}
+	return Line{}, false
+}
+
+// ForEach visits every valid line (for invariant checks in tests).
+func (c *Cache) ForEach(fn func(setIdx int, l *Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(i/c.ways, &c.lines[i])
+		}
+	}
+}

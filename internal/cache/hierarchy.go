@@ -1,0 +1,526 @@
+package cache
+
+import (
+	"pimsim/internal/addr"
+	"pimsim/internal/config"
+	"pimsim/internal/hmc"
+	"pimsim/internal/sim"
+	"pimsim/internal/stats"
+)
+
+// Hierarchy is the coherent three-level inclusive cache hierarchy:
+// per-core private L1D and L2, a crossbar, and a banked shared L3 with
+// directory bits (sharer masks) implementing MESI among the private
+// caches. Misses go to the HMC chain.
+//
+// It also provides the two primitives the PMU needs for memory-side PEI
+// coherence: BackInvalidate (writer PEIs) and BackWriteback (reader
+// PEIs).
+type Hierarchy struct {
+	k     *sim.Kernel
+	cfg   *config.Config
+	chain *hmc.Chain
+	reg   *stats.Registry
+
+	l1, l2 []*Cache // per core
+	l3     []*Cache // per bank
+
+	coreOut []*sim.Link // per-core request port into the crossbar
+	coreIn  []*sim.Link // per-core response port out of the crossbar
+	bankSrv []*sim.Link // per-bank L3 service port
+
+	privMSHR     []map[uint64]*privMSHR // per core, keyed by block
+	privPend     [][]*privReq           // per core, waiting for an MSHR slot
+	l3MSHR       []map[uint64]*l3MSHR   // per bank, keyed by block
+	perBankMSHRs int
+
+	// OnL3Access, if non-nil, observes every L3 lookup (hit or miss) by
+	// block number. The PMU's locality monitor hangs off this hook.
+	OnL3Access func(blk uint64)
+
+	// AccessLatency records the retire latency of every Access call
+	// (loads and stores alike), bucketed at L1/L2/L3/memory scales.
+	AccessLatency *stats.Histogram
+}
+
+type privReq struct {
+	write bool
+	done  func()
+}
+
+type privMSHR struct {
+	write   bool // ownership requested when the L3 access was launched
+	waiters []*privReq
+}
+
+type l3Waiter struct {
+	core  int
+	write bool
+	fill  func(exclusive bool)
+}
+
+type l3MSHR struct {
+	waiters []l3Waiter
+}
+
+// NewHierarchy builds the hierarchy for cfg over the given memory chain.
+func NewHierarchy(k *sim.Kernel, cfg *config.Config, chain *hmc.Chain, reg *stats.Registry) *Hierarchy {
+	h := &Hierarchy{k: k, cfg: cfg, chain: chain, reg: reg}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, New(cfg.L1.Sets(), cfg.L1.Ways))
+		h.l2 = append(h.l2, New(cfg.L2.Sets(), cfg.L2.Ways))
+		h.coreOut = append(h.coreOut, sim.NewLink(k, cfg.NoCBytesPerCycle, cfg.NoCLatency))
+		h.coreIn = append(h.coreIn, sim.NewLink(k, cfg.NoCBytesPerCycle, cfg.NoCLatency))
+		h.privMSHR = append(h.privMSHR, make(map[uint64]*privMSHR))
+		h.privPend = append(h.privPend, nil)
+	}
+	setsPerBank := cfg.L3.Sets() / cfg.L3Banks
+	for b := 0; b < cfg.L3Banks; b++ {
+		h.l3 = append(h.l3, New(setsPerBank, cfg.L3.Ways))
+		// A bank accepts one access per 2 CPU cycles (2 GHz array).
+		h.bankSrv = append(h.bankSrv, sim.NewLink(k, 0.5, 0))
+		h.l3MSHR = append(h.l3MSHR, make(map[uint64]*l3MSHR))
+	}
+	h.perBankMSHRs = cfg.L3.MSHRs / cfg.L3Banks
+	if h.perBankMSHRs < 1 {
+		h.perBankMSHRs = 1
+	}
+	h.AccessLatency = stats.NewHistogram(4, 16, 64, 256, 1024, 4096)
+	return h
+}
+
+func (h *Hierarchy) bankOf(blk uint64) int     { return int(blk % uint64(h.cfg.L3Banks)) }
+func (h *Hierarchy) bankKey(blk uint64) uint64 { return blk / uint64(h.cfg.L3Banks) }
+func blockAddr(blk uint64) uint64              { return blk << addr.BlockShift }
+
+// L1 and L2 expose per-core caches; L3Bank exposes a bank (for tests and
+// the locality monitor's geometry).
+func (h *Hierarchy) L1(core int) *Cache  { return h.l1[core] }
+func (h *Hierarchy) L2(core int) *Cache  { return h.l2[core] }
+func (h *Hierarchy) L3Bank(b int) *Cache { return h.l3[b] }
+
+// Access performs a load (write=false) or store (write=true) of the
+// block containing a on behalf of core. done runs when the access
+// retires (data available / ownership granted).
+func (h *Hierarchy) Access(core int, a uint64, write bool, done func()) {
+	blk := addr.BlockOf(a)
+	start := h.k.Now()
+	userDone := done
+	done = func() {
+		h.AccessLatency.Observe(int64(h.k.Now() - start))
+		userDone()
+	}
+	h.k.Schedule(h.cfg.L1.LatencyCycles, func() {
+		if l := h.l1[core].Lookup(blk); l != nil {
+			h.reg.Inc("l1.hits")
+			if !write || l.State >= Exclusive {
+				if write {
+					l.State = Modified
+					l.Dirty = true
+				}
+				done()
+				return
+			}
+			// Write to a Shared line: upgrade through the L3.
+			h.reg.Inc("coh.upgrades")
+			h.privateMiss(core, blk, true, done)
+			return
+		}
+		h.reg.Inc("l1.misses")
+		h.k.Schedule(h.cfg.L2.LatencyCycles, func() {
+			if l := h.l2[core].Lookup(blk); l != nil {
+				h.reg.Inc("l2.hits")
+				if !write || l.State >= Exclusive {
+					st := l.State
+					if write {
+						st = Modified
+						l.State = Modified
+						l.Dirty = true
+					}
+					h.fillL1(core, blk, st, write)
+					done()
+					return
+				}
+				h.reg.Inc("coh.upgrades")
+				h.privateMiss(core, blk, true, done)
+				return
+			}
+			h.reg.Inc("l2.misses")
+			h.privateMiss(core, blk, write, done)
+			for i := 1; i <= h.cfg.PrefetchDepth; i++ {
+				h.prefetchBlock(core, blk+uint64(i))
+			}
+		})
+	})
+}
+
+// fillL1 installs blk in core's L1, handling the victim writeback into
+// the L2 (dirty victims just mark the L2 copy dirty; no data movement is
+// modeled between the private levels).
+func (h *Hierarchy) fillL1(core int, blk uint64, st State, dirty bool) {
+	c := h.l1[core]
+	if l := c.Peek(blk); l != nil {
+		l.State = st
+		l.Dirty = l.Dirty || dirty
+		return
+	}
+	v := c.Victim(blk)
+	if v.State != Invalid && v.Dirty {
+		if l2 := h.l2[core].Peek(v.Key); l2 != nil {
+			l2.Dirty = true
+			l2.State = Modified
+		}
+		h.reg.Inc("l1.writebacks")
+	}
+	c.Insert(v, blk, st)
+	l := c.Peek(blk)
+	l.Dirty = dirty
+}
+
+// fillL2 installs blk in core's L2. Dirty victims are written back to
+// the L3 over the crossbar (80 B data message); the L1 copy of the
+// victim is invalidated to preserve inclusion.
+func (h *Hierarchy) fillL2(core int, blk uint64, st State, dirty bool) {
+	c := h.l2[core]
+	if l := c.Peek(blk); l != nil {
+		l.State = st
+		l.Dirty = l.Dirty || dirty
+		return
+	}
+	v := c.Victim(blk)
+	if v.State != Invalid {
+		if l1, ok := h.l1[core].Invalidate(v.Key); ok && l1.Dirty {
+			v.Dirty = true
+		}
+		if v.Dirty {
+			h.reg.Inc("l2.writebacks")
+			vk := v.Key
+			h.coreOut[core].Send(addr.BlockBytes+h.cfg.PacketHeaderBytes, func() {
+				h.markL3Dirty(vk)
+			})
+		}
+	}
+	c.Insert(v, blk, st)
+	l := c.Peek(blk)
+	l.Dirty = dirty
+}
+
+// markL3Dirty records a private writeback arriving at the L3. If the
+// line has already been evicted (race with an L3 eviction), the data
+// goes straight to memory.
+func (h *Hierarchy) markL3Dirty(blk uint64) {
+	b := h.bankOf(blk)
+	if l := h.l3[b].Peek(h.bankKey(blk)); l != nil {
+		l.Dirty = true
+		return
+	}
+	h.reg.Inc("l3.orphan_writebacks")
+	h.chain.Write(blockAddr(blk), nil)
+}
+
+// prefetchBlock issues a next-line prefetch into core's private caches:
+// a normal fill with no waiting consumer. Prefetches skip blocks already
+// present or in flight and do not recursively trigger prefetching.
+func (h *Hierarchy) prefetchBlock(core int, blk uint64) {
+	if h.l1[core].Peek(blk) != nil || h.l2[core].Peek(blk) != nil {
+		return
+	}
+	if _, inFlight := h.privMSHR[core][blk]; inFlight {
+		return
+	}
+	if len(h.privMSHR[core]) >= h.cfg.L2.MSHRs {
+		return // never stall demand traffic for a prefetch
+	}
+	h.reg.Inc("l2.prefetches")
+	h.privateMiss(core, blk, false, func() {})
+}
+
+// privateMiss merges the request into the core's MSHRs, launching an L3
+// access for the first miss to each block.
+func (h *Hierarchy) privateMiss(core int, blk uint64, write bool, done func()) {
+	r := &privReq{write: write, done: done}
+	if m, ok := h.privMSHR[core][blk]; ok {
+		h.reg.Inc("l2.mshr_merges")
+		m.waiters = append(m.waiters, r)
+		return
+	}
+	if len(h.privMSHR[core]) >= h.cfg.L2.MSHRs {
+		h.reg.Inc("l2.mshr_stalls")
+		h.privPend[core] = append(h.privPend[core], &privReq{write: write, done: func() {
+			// Retried from scratch once a slot frees.
+			h.privateMiss(core, blk, write, done)
+		}})
+		// Stash the block with the pending request via closure; the
+		// retry recomputes everything.
+		return
+	}
+	m := &privMSHR{write: write, waiters: []*privReq{r}}
+	h.privMSHR[core][blk] = m
+	// Request message to the L3 bank over the crossbar.
+	h.coreOut[core].Send(h.cfg.PacketHeaderBytes, func() {
+		bank := h.bankOf(blk)
+		h.bankSrv[bank].Send(1, func() {
+			h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
+				h.l3Access(core, blk, m.write, func(exclusive bool) {
+					h.completePrivateMiss(core, blk, exclusive)
+				})
+			})
+		})
+	})
+}
+
+// completePrivateMiss delivers the data response to the core and fills
+// its private caches, then retires all merged waiters.
+func (h *Hierarchy) completePrivateMiss(core int, blk uint64, exclusive bool) {
+	h.coreIn[core].Send(addr.BlockBytes+h.cfg.PacketHeaderBytes, func() {
+		m := h.privMSHR[core][blk]
+		if m == nil {
+			return
+		}
+		delete(h.privMSHR[core], blk)
+		st := Shared
+		if m.write {
+			st = Modified
+		} else if exclusive {
+			st = Exclusive
+		}
+		h.fillL2(core, blk, st, m.write)
+		h.fillL1(core, blk, st, m.write)
+		for _, w := range m.waiters {
+			if w.write && !m.write {
+				// A store merged into a read miss still needs
+				// ownership; replay it (it will hit Shared in L1 and
+				// take the upgrade path).
+				wd := w.done
+				h.Access(core, blockAddr(blk), true, wd)
+				continue
+			}
+			w.done()
+		}
+		// Admit one pending request now that a slot is free.
+		if len(h.privPend[core]) > 0 {
+			next := h.privPend[core][0]
+			h.privPend[core] = h.privPend[core][1:]
+			next.done()
+		}
+	})
+}
+
+// l3Access looks up blk in the L3, resolving coherence with other cores'
+// private caches, and calls respond when the bank can source the data.
+// exclusive reports whether the requester will be the sole sharer.
+func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(exclusive bool)) {
+	if h.OnL3Access != nil {
+		h.OnL3Access(blk)
+	}
+	bank := h.bankOf(blk)
+	key := h.bankKey(blk)
+	// Join an in-flight fill if one exists.
+	if m, ok := h.l3MSHR[bank][blk]; ok {
+		h.reg.Inc("l3.mshr_merges")
+		m.waiters = append(m.waiters, l3Waiter{core: core, write: write, fill: respond})
+		return
+	}
+	if l := h.l3[bank].Lookup(key); l != nil {
+		h.reg.Inc("l3.hits")
+		delay := sim.Cycle(0)
+		others := l.Sharers &^ (1 << uint(core))
+		if others != 0 {
+			if write {
+				// Invalidate all other sharers.
+				delay = 2 * h.cfg.NoCLatency
+				for c := 0; c < h.cfg.Cores; c++ {
+					if others&(1<<uint(c)) == 0 {
+						continue
+					}
+					h.reg.Inc("coh.invalidations")
+					if l1, ok := h.l1[c].Invalidate(blk); ok && l1.Dirty {
+						l.Dirty = true
+					}
+					if l2, ok := h.l2[c].Invalidate(blk); ok && l2.Dirty {
+						l.Dirty = true
+					}
+				}
+				l.Sharers = 0
+			} else {
+				// Downgrade other sharers' E/M copies to Shared so no
+				// one can write silently; dirty data is pulled into the
+				// bank (costing a snoop round trip).
+				for c := 0; c < h.cfg.Cores; c++ {
+					if others&(1<<uint(c)) == 0 {
+						continue
+					}
+					dirty := false
+					if l1 := h.l1[c].Peek(blk); l1 != nil && l1.State >= Exclusive {
+						dirty = dirty || l1.Dirty
+						l1.State, l1.Dirty = Shared, false
+					}
+					if l2 := h.l2[c].Peek(blk); l2 != nil && l2.State >= Exclusive {
+						dirty = dirty || l2.Dirty
+						l2.State, l2.Dirty = Shared, false
+					}
+					if dirty {
+						h.reg.Inc("coh.downgrades")
+						l.Dirty = true
+						delay = 2 * h.cfg.NoCLatency
+					}
+				}
+			}
+		}
+		if write {
+			l.Dirty = true
+			l.Sharers = 1 << uint(core)
+		} else {
+			l.Sharers |= 1 << uint(core)
+		}
+		excl := l.Sharers == 1<<uint(core)
+		h.k.Schedule(delay, func() { respond(excl) })
+		return
+	}
+	h.reg.Inc("l3.misses")
+	if len(h.l3MSHR[bank]) >= h.perBankMSHRs {
+		// All MSHRs busy: retry after a short backoff.
+		h.reg.Inc("l3.mshr_stalls")
+		h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
+			h.l3Access(core, blk, write, respond)
+		})
+		return
+	}
+	m := &l3MSHR{waiters: []l3Waiter{{core: core, write: write, fill: respond}}}
+	h.l3MSHR[bank][blk] = m
+	// Reserve the frame now so racing misses to the same set pick other
+	// victims; evict the old occupant first.
+	v := h.l3[bank].Victim(key)
+	if v.State != Invalid {
+		h.evictL3(bank, v)
+	}
+	h.l3[bank].Insert(v, key, Shared)
+	h.chain.Read(blockAddr(blk), func() {
+		delete(h.l3MSHR[bank], blk)
+		l := h.l3[bank].Peek(key)
+		if l == nil {
+			// Evicted while in flight (pathological); treat as a fresh
+			// bypass fill: respond without caching.
+			for _, w := range m.waiters {
+				w.fill(false)
+			}
+			return
+		}
+		for _, w := range m.waiters {
+			if w.write {
+				l.Dirty = true
+				l.Sharers = 1 << uint(w.core)
+			} else {
+				l.Sharers |= 1 << uint(w.core)
+			}
+		}
+		for _, w := range m.waiters {
+			w.fill(l.Sharers == 1<<uint(w.core))
+		}
+	})
+}
+
+// evictL3 removes a victim line from the L3: back-invalidates all
+// private copies (inclusion) and writes dirty data to memory.
+func (h *Hierarchy) evictL3(bank int, v *Line) {
+	blk := v.Key*uint64(h.cfg.L3Banks) + uint64(bank)
+	dirty := v.Dirty
+	for c := 0; c < h.cfg.Cores; c++ {
+		if v.Sharers&(1<<uint(c)) == 0 {
+			continue
+		}
+		h.reg.Inc("l3.back_invalidations")
+		if l1, ok := h.l1[c].Invalidate(blk); ok && l1.Dirty {
+			dirty = true
+		}
+		if l2, ok := h.l2[c].Invalidate(blk); ok && l2.Dirty {
+			dirty = true
+		}
+	}
+	if dirty {
+		h.reg.Inc("l3.writebacks")
+		h.chain.Write(blockAddr(blk), nil)
+	}
+}
+
+// BackWriteback flushes any dirty copy of a's block to main memory while
+// letting caches keep clean copies. The PMU issues this before
+// offloading a reader PEI (§4.3). done runs when memory holds the latest
+// data.
+func (h *Hierarchy) BackWriteback(a uint64, done func()) {
+	blk := addr.BlockOf(a)
+	bank := h.bankOf(blk)
+	h.reg.Inc("pmu.back_writebacks")
+	h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
+		dirty := false
+		if l := h.l3[bank].Peek(h.bankKey(blk)); l != nil {
+			if l.Dirty {
+				l.Dirty = false
+				dirty = true
+			}
+			for c := 0; c < h.cfg.Cores; c++ {
+				if l.Sharers&(1<<uint(c)) == 0 {
+					continue
+				}
+				if l1 := h.l1[c].Peek(blk); l1 != nil && l1.Dirty {
+					l1.State, l1.Dirty, dirty = Shared, false, true
+				}
+				if l2 := h.l2[c].Peek(blk); l2 != nil && l2.Dirty {
+					l2.State, l2.Dirty, dirty = Shared, false, true
+				}
+			}
+		}
+		if dirty {
+			h.chain.Write(addr.BlockBase(a), done)
+			return
+		}
+		done()
+	})
+}
+
+// BackInvalidate removes a's block from the entire hierarchy, writing
+// dirty data to memory first. The PMU issues this before offloading a
+// writer PEI (§4.3). done runs when no cache holds the block and memory
+// is current.
+func (h *Hierarchy) BackInvalidate(a uint64, done func()) {
+	blk := addr.BlockOf(a)
+	bank := h.bankOf(blk)
+	h.reg.Inc("pmu.back_invalidations")
+	h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
+		dirty := false
+		if l, ok := h.l3[bank].Invalidate(h.bankKey(blk)); ok {
+			dirty = l.Dirty
+			for c := 0; c < h.cfg.Cores; c++ {
+				if l.Sharers&(1<<uint(c)) == 0 {
+					continue
+				}
+				if l1, ok := h.l1[c].Invalidate(blk); ok && l1.Dirty {
+					dirty = true
+				}
+				if l2, ok := h.l2[c].Invalidate(blk); ok && l2.Dirty {
+					dirty = true
+				}
+			}
+		}
+		if dirty {
+			h.chain.Write(addr.BlockBase(a), done)
+			return
+		}
+		done()
+	})
+}
+
+// CachedAnywhere reports whether a's block is present at any level (test
+// helper and invariant probe).
+func (h *Hierarchy) CachedAnywhere(a uint64) bool {
+	blk := addr.BlockOf(a)
+	if h.l3[h.bankOf(blk)].Peek(h.bankKey(blk)) != nil {
+		return true
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		if h.l1[c].Peek(blk) != nil || h.l2[c].Peek(blk) != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,116 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineValid(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Table 2 spot checks.
+	if c.Cores != 16 || c.IssueWidth != 4 {
+		t.Fatalf("cores/issue = %d/%d, want 16/4", c.Cores, c.IssueWidth)
+	}
+	if got := c.L3.Sets(); got != 16384 {
+		t.Fatalf("L3 sets = %d, want 16384", got)
+	}
+	if got := c.Mapping().VaultsTotal(); got != 128 {
+		t.Fatalf("total vaults = %d, want 128", got)
+	}
+	if c.TCL != 55 {
+		t.Fatalf("tCL = %d cycles, want 55 (13.75 ns at 4 GHz)", c.TCL)
+	}
+}
+
+func TestScaledValid(t *testing.T) {
+	if err := Scaled().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadCache(t *testing.T) {
+	c := Baseline()
+	c.L1.SizeBytes = 1000 // not divisible into 64 B blocks x ways
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for odd L1 size")
+	}
+}
+
+func TestValidateCatchesNonPowerOfTwoSets(t *testing.T) {
+	c := Baseline()
+	c.L2 = CacheConfig{SizeBytes: 192 << 10, Ways: 8, LatencyCycles: 12, MSHRs: 16} // 384 sets
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for non-power-of-two set count")
+	}
+}
+
+func TestValidateCatchesBankMismatch(t *testing.T) {
+	c := Baseline()
+	c.L3Banks = 7
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for L3Banks not dividing sets")
+	}
+}
+
+func TestValidateCatchesZeroDirectory(t *testing.T) {
+	c := Baseline()
+	c.DirectoryEntries = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("expected error for zero directory entries")
+	}
+	c.IdealDirectory = true
+	if err := c.Validate(); err != nil {
+		t.Fatalf("ideal directory should allow zero entries: %v", err)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	c := Baseline()
+	cp := c.Clone()
+	cp.Cores = 1
+	if c.Cores != 16 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestLoadJSONOverlaysBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"Cores": 8, "BalancedDispatch": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != 8 {
+		t.Fatalf("Cores = %d, want 8", c.Cores)
+	}
+	if !c.BalancedDispatch {
+		t.Fatal("BalancedDispatch not set")
+	}
+	if c.L3.SizeBytes != 16<<20 {
+		t.Fatal("baseline fields not preserved under overlay")
+	}
+}
+
+func TestLoadJSONRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"Cores": -1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(path); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON("/nonexistent/cfg.json"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

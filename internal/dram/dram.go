@@ -1,0 +1,220 @@
+// Package dram models the DRAM banks behind one vault controller:
+// open-row (row-buffer) state per bank, FR-FCFS scheduling, and the
+// tCL/tRCD/tRP timing of Table 2. One Controller corresponds to the
+// per-vault DRAM controller on the HMC logic die.
+package dram
+
+import (
+	"pimsim/internal/sim"
+	"pimsim/internal/stats"
+)
+
+// Timing holds DRAM timing parameters in CPU cycles.
+type Timing struct {
+	TCL  sim.Cycle // column access (row already open)
+	TRCD sim.Cycle // row activate
+	TRP  sim.Cycle // precharge (row conflict)
+	// IssueGap is the minimum spacing between commands issued by one
+	// controller (the command bus serialization; 2 CPU cycles = one
+	// 2 GHz memory cycle).
+	IssueGap sim.Cycle
+	// TREFI is the refresh interval and TRFC the refresh cycle time; all
+	// banks of the controller stall for TRFC every TREFI. Zero TREFI
+	// disables refresh.
+	TREFI sim.Cycle
+	TRFC  sim.Cycle
+}
+
+// Request is one 64-byte block access presented to a vault controller.
+type Request struct {
+	Bank  int
+	Row   uint64
+	Write bool
+	// Done runs when the access completes (data available at the vault
+	// for reads; write restored for writes).
+	Done func()
+
+	arrived sim.Cycle
+}
+
+type bank struct {
+	open    bool
+	openRow uint64
+	readyAt sim.Cycle
+}
+
+// Controller is a per-vault FR-FCFS DRAM controller.
+type Controller struct {
+	k      *sim.Kernel
+	t      Timing
+	banks  []bank
+	queue  []*Request
+	stats  *stats.Registry
+	prefix string
+
+	nextIssue   sim.Cycle
+	pumpAt      sim.Cycle // earliest already-scheduled pump; -1 if none
+	nextRefresh sim.Cycle
+}
+
+// NewController creates a controller with the given bank count. Counter
+// names are prefixed (e.g. "dram.") in the shared registry.
+func NewController(k *sim.Kernel, banks int, t Timing, reg *stats.Registry, prefix string) *Controller {
+	return &Controller{
+		k:      k,
+		t:      t,
+		banks:  make([]bank, banks),
+		stats:  reg,
+		prefix: prefix,
+		pumpAt: -1,
+	}
+}
+
+// QueueLen reports the number of waiting requests.
+func (c *Controller) QueueLen() int { return len(c.queue) }
+
+// Enqueue adds a request; it will be scheduled FR-FCFS.
+func (c *Controller) Enqueue(r *Request) {
+	if r.Bank < 0 || r.Bank >= len(c.banks) {
+		panic("dram: bank out of range")
+	}
+	r.arrived = c.k.Now()
+	c.queue = append(c.queue, r)
+	c.pump()
+}
+
+// latencyFor returns the service latency of r on its bank and whether it
+// is a row hit, a row miss (closed row), or a conflict.
+func (c *Controller) latencyFor(r *Request) (lat sim.Cycle, kind string) {
+	b := &c.banks[r.Bank]
+	switch {
+	case b.open && b.openRow == r.Row:
+		return c.t.TCL, "row_hit"
+	case !b.open:
+		return c.t.TRCD + c.t.TCL, "row_miss"
+	default:
+		return c.t.TRP + c.t.TRCD + c.t.TCL, "row_conflict"
+	}
+}
+
+// applyRefresh lazily applies any refresh windows that have elapsed:
+// every TREFI, all banks stall for TRFC with their rows closed. Applied
+// on demand so an idle controller costs no events.
+func (c *Controller) applyRefresh(now sim.Cycle) {
+	t := c.t
+	if t.TREFI <= 0 {
+		return
+	}
+	for c.nextRefresh <= now {
+		end := c.nextRefresh + t.TRFC
+		for i := range c.banks {
+			b := &c.banks[i]
+			b.open = false
+			if b.readyAt < end {
+				b.readyAt = end
+			}
+		}
+		c.stats.Inc(c.prefix + "refreshes")
+		c.nextRefresh += t.TREFI
+		if now-c.nextRefresh > 16*t.TREFI {
+			// Long idle gap: rows are already closed; skip ahead.
+			c.nextRefresh += (now - c.nextRefresh) / t.TREFI * t.TREFI
+		}
+	}
+}
+
+// pump issues as many requests as the FR-FCFS policy allows right now,
+// then schedules itself for the next time anything could issue.
+func (c *Controller) pump() {
+	now := c.k.Now()
+	c.applyRefresh(now)
+	for {
+		idx := c.pick(now)
+		if idx < 0 {
+			break
+		}
+		r := c.queue[idx]
+		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
+		lat, kind := c.latencyFor(r)
+		b := &c.banks[r.Bank]
+		b.open = true
+		b.openRow = r.Row
+		b.readyAt = now + lat
+		c.nextIssue = now + c.t.IssueGap
+		c.stats.Inc(c.prefix + kind)
+		if r.Write {
+			c.stats.Inc(c.prefix + "writes")
+		} else {
+			c.stats.Inc(c.prefix + "reads")
+		}
+		done := r.Done
+		if done != nil {
+			c.k.Schedule(lat, done)
+		}
+		now = c.k.Now() // unchanged; loop continues for other ready banks
+		if c.nextIssue > now {
+			break
+		}
+	}
+	c.scheduleNextPump()
+}
+
+// pick selects the FR-FCFS winner issuable at cycle now: the oldest
+// row-hit request whose bank is ready, else the oldest ready request.
+func (c *Controller) pick(now sim.Cycle) int {
+	if c.nextIssue > now {
+		return -1
+	}
+	best := -1
+	bestHit := false
+	for i, r := range c.queue {
+		b := &c.banks[r.Bank]
+		if b.readyAt > now {
+			continue
+		}
+		hit := b.open && b.openRow == r.Row
+		switch {
+		case best < 0:
+			best, bestHit = i, hit
+		case hit && !bestHit:
+			best, bestHit = i, hit
+		}
+		// Queue order is arrival order, so the first candidate of each
+		// class is the oldest.
+		if bestHit {
+			break
+		}
+	}
+	return best
+}
+
+func (c *Controller) scheduleNextPump() {
+	if len(c.queue) == 0 {
+		return
+	}
+	now := c.k.Now()
+	var earliest sim.Cycle = -1
+	for _, r := range c.queue {
+		t := c.banks[r.Bank].readyAt
+		if t < c.nextIssue {
+			t = c.nextIssue
+		}
+		if t <= now {
+			t = now + 1
+		}
+		if earliest < 0 || t < earliest {
+			earliest = t
+		}
+	}
+	if earliest < 0 {
+		return
+	}
+	if c.pumpAt >= 0 && c.pumpAt <= earliest {
+		return // an earlier-or-equal pump is already queued
+	}
+	c.pumpAt = earliest
+	c.k.At(earliest, func() {
+		c.pumpAt = -1
+		c.pump()
+	})
+}

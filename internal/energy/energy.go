@@ -1,0 +1,89 @@
+// Package energy estimates memory-hierarchy energy from the event
+// counters the simulator records, reproducing Figure 12's breakdown
+// (caches, DRAM, off-chip links, PCUs, PMU structures).
+//
+// Substitution note (DESIGN.md §3): the paper derives per-event energies
+// from CACTI 6.5, CACTI-3DD, McPAT and an HMC link model. We use fixed
+// constants of the same order of magnitude. Figure 12 compares
+// *relative* energy across configurations, which depends on the event
+// counts (measured exactly here), not on the absolute constants.
+package energy
+
+import "pimsim/internal/stats"
+
+// Params holds per-event energies in nanojoules (or nJ/byte for links).
+type Params struct {
+	L1Access float64
+	L2Access float64
+	L3Access float64
+	// DRAMActivate is charged per row activation (row miss/conflict),
+	// DRAMAccess per column read/write burst.
+	DRAMActivate float64
+	DRAMAccess   float64
+	// OffchipPerByte covers SerDes and link transfer; TSVPerByte the
+	// vertical links.
+	OffchipPerByte float64
+	TSVPerByte     float64
+	// PCUOp is the computation energy per executed PEI; PMUAccess per
+	// directory/monitor consult.
+	PCUOp     float64
+	PMUAccess float64
+	// StaticPerCycle is the leakage/background power of the memory
+	// hierarchy expressed per CPU cycle; it makes faster configurations
+	// cheaper, as the paper's CACTI/McPAT-based model does.
+	StaticPerCycle float64
+}
+
+// DefaultParams gives CACTI-order constants for a 22 nm-class system.
+func DefaultParams() Params {
+	return Params{
+		L1Access:       0.1,
+		L2Access:       0.35,
+		L3Access:       1.8,
+		DRAMActivate:   2.5,
+		DRAMAccess:     4.0,
+		OffchipPerByte: 0.054, // ~4.3 pJ/bit HMC SerDes+link
+		TSVPerByte:     0.011,
+		PCUOp:          0.05,
+		PMUAccess:      0.02,
+		StaticPerCycle: 1.0, // ~4 W hierarchy leakage at 4 GHz
+	}
+}
+
+// Breakdown is the Figure 12 decomposition, in nanojoules.
+type Breakdown struct {
+	Caches  float64
+	DRAM    float64
+	Offchip float64
+	TSV     float64
+	PCU     float64
+	PMU     float64
+	Static  float64
+}
+
+// Total sums all components.
+func (b Breakdown) Total() float64 {
+	return b.Caches + b.DRAM + b.Offchip + b.TSV + b.PCU + b.PMU + b.Static
+}
+
+// Compute derives the breakdown from a run's counters and duration.
+func Compute(reg *stats.Registry, p Params, cycles int64) Breakdown {
+	var b Breakdown
+	l1 := reg.Get("l1.hits") + reg.Get("l1.misses")
+	l2 := reg.Get("l2.hits") + reg.Get("l2.misses")
+	l3 := reg.Get("l3.hits") + reg.Get("l3.misses")
+	b.Caches = float64(l1)*p.L1Access + float64(l2)*p.L2Access + float64(l3)*p.L3Access
+
+	activates := reg.Get("dram.row_miss") + reg.Get("dram.row_conflict")
+	accesses := reg.Get("dram.reads") + reg.Get("dram.writes")
+	b.DRAM = float64(activates)*p.DRAMActivate + float64(accesses)*p.DRAMAccess
+
+	b.Offchip = float64(reg.Get("offchip.req.bytes")+reg.Get("offchip.res.bytes")) * p.OffchipPerByte
+	b.TSV = float64(reg.Get("tsv.bytes")) * p.TSVPerByte
+
+	b.PCU = float64(reg.Get("pei.host")+reg.Get("pei.mem")) * p.PCUOp
+	pmuEvents := reg.Get("pei.total") + reg.Get("pmu.monitor_hit") + reg.Get("pmu.monitor_miss") + reg.Get("pmu.monitor_ignored_hit")
+	b.PMU = float64(pmuEvents) * p.PMUAccess
+	b.Static = float64(cycles) * p.StaticPerCycle
+	return b
+}

@@ -1,0 +1,77 @@
+package energy
+
+import (
+	"testing"
+
+	"pimsim/internal/stats"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	reg := stats.NewRegistry()
+	reg.Set("l1.hits", 100)
+	reg.Set("l1.misses", 10)
+	reg.Set("dram.reads", 5)
+	reg.Set("dram.row_miss", 3)
+	reg.Set("offchip.req.bytes", 1000)
+	reg.Set("tsv.bytes", 640)
+	reg.Set("pei.host", 4)
+	reg.Set("pei.mem", 6)
+	reg.Set("pei.total", 10)
+
+	p := DefaultParams()
+	b := Compute(reg, p, 100)
+	if b.Caches != 110*p.L1Access {
+		t.Fatalf("cache energy %v", b.Caches)
+	}
+	wantDRAM := 3*p.DRAMActivate + 5*p.DRAMAccess
+	if b.DRAM != wantDRAM {
+		t.Fatalf("DRAM energy %v, want %v", b.DRAM, wantDRAM)
+	}
+	if b.Offchip != 1000*p.OffchipPerByte {
+		t.Fatalf("offchip energy %v", b.Offchip)
+	}
+	if b.TSV != 640*p.TSVPerByte {
+		t.Fatalf("tsv energy %v", b.TSV)
+	}
+	if b.PCU != 10*p.PCUOp {
+		t.Fatalf("pcu energy %v", b.PCU)
+	}
+	if b.Static != 100*p.StaticPerCycle {
+		t.Fatalf("static energy %v", b.Static)
+	}
+	if b.Total() <= 0 {
+		t.Fatal("total must be positive")
+	}
+	sum := b.Caches + b.DRAM + b.Offchip + b.TSV + b.PCU + b.PMU + b.Static
+	if b.Total() != sum {
+		t.Fatal("Total() != component sum")
+	}
+}
+
+func TestEmptyRegistryZeroEnergy(t *testing.T) {
+	b := Compute(stats.NewRegistry(), DefaultParams(), 0)
+	if b.Total() != 0 {
+		t.Fatalf("empty run energy %v, want 0", b.Total())
+	}
+}
+
+func TestStaticEnergyScalesWithTime(t *testing.T) {
+	p := DefaultParams()
+	reg := stats.NewRegistry()
+	fast := Compute(reg, p, 1000)
+	slow := Compute(reg, p, 5000)
+	if slow.Static != 5*fast.Static {
+		t.Fatalf("static energy not linear in cycles: %v vs %v", slow.Static, fast.Static)
+	}
+}
+
+func TestMoreDRAMTrafficMoreEnergy(t *testing.T) {
+	p := DefaultParams()
+	small := stats.NewRegistry()
+	small.Set("dram.reads", 10)
+	big := stats.NewRegistry()
+	big.Set("dram.reads", 1000)
+	if Compute(big, p, 0).DRAM <= Compute(small, p, 0).DRAM {
+		t.Fatal("energy not monotone in DRAM accesses")
+	}
+}

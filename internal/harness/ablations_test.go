@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"strconv"
+	"testing"
+)
+
+func ablationRunner() *Runner {
+	o := tinyOptions()
+	o.Workloads = []string{"atf"}
+	return NewRunner(o)
+}
+
+func TestAblationIgnoreBit(t *testing.T) {
+	tb, err := ablationRunner().AblationIgnoreBit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	v, err := strconv.ParseFloat(tb.Rows[1][1], 64)
+	if err != nil || v <= 0 {
+		t.Fatalf("bad speedup %q", tb.Rows[1][1])
+	}
+}
+
+func TestAblationPartialTagWidth(t *testing.T) {
+	tb, err := ablationRunner().AblationPartialTagWidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// The default width must be a near-noop relative to itself.
+	for _, row := range tb.Rows {
+		if row[0] == "10" {
+			if row[1] != "1.000" {
+				t.Fatalf("10-bit row should be exactly 1.000, got %s", row[1])
+			}
+		}
+	}
+}
+
+func TestAblationDirectorySize(t *testing.T) {
+	tb, err := ablationRunner().AblationDirectorySize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// A tiny 8-entry directory must not beat the default by much, and
+	// typically loses (extra serialization).
+	v, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	if v > 1.2 {
+		t.Fatalf("8-entry directory speedup %v looks wrong", v)
+	}
+}
+
+func TestAblationDispatchWindow(t *testing.T) {
+	tb, err := ablationRunner().AblationDispatchWindow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestAblationInterleave(t *testing.T) {
+	tb, err := ablationRunner().AblationInterleave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestComparisonHMC2(t *testing.T) {
+	tb, err := ablationRunner().ComparisonHMC2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 { // one workload + GM
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}

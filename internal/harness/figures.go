@@ -1,0 +1,406 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pimsim/internal/config"
+	"pimsim/internal/graph"
+	"pimsim/internal/machine"
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+// graphSweep lists the nine Figure 2/8 graphs, scaled by the runner's
+// scale factor.
+func (r *Runner) graphSweep() []graph.DatasetSpec {
+	return graph.Figure2Graphs
+}
+
+// Fig2 reproduces Figure 2: PageRank speedup of always-in-memory atomic
+// add (PIM-Only) over the idealized host, across the nine graphs.
+func (r *Runner) Fig2() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 2: PageRank with in-memory atomic add (speedup over Ideal-Host)",
+		Header: []string{"graph", "host_cycles", "pim_cycles", "speedup"},
+		Notes: []string{
+			"paper: up to +53% on large graphs, up to -20% on cache-resident graphs",
+			fmt.Sprintf("graphs are R-MAT stand-ins scaled 1/%d (DESIGN.md §3)", r.Opts.Scale),
+		},
+	}
+	for _, spec := range r.graphSweep() {
+		r.Opts.logf("fig2: %s", spec.Name)
+		host, err := r.runGraphWorkload("pr", spec, pim.IdealHost)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := r.runGraphWorkload("pr", spec, pim.PIMOnly)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmt.Sprint(host.Cycles),
+			fmt.Sprint(mem.Cycles),
+			fmtF(speedup(host, mem)),
+		})
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: speedups of Host-Only, PIM-Only, and
+// Locality-Aware over Ideal-Host for the ten workloads under one input
+// size. The paper's sub-figures (a/b/c) are the three sizes.
+func (r *Runner) Fig6(size workloads.Size) (*Table, error) {
+	t := &Table{
+		Title:     fmt.Sprintf("Figure 6 (%s inputs): speedup over Ideal-Host", size),
+		Header:    []string{"workload", "Host-Only", "PIM-Only", "Locality-Aware", "PIM%"},
+		BarColumn: 3,
+	}
+	var host, mem, la []float64
+	for _, name := range r.Opts.Workloads {
+		r.Opts.logf("fig6/%s: %s", size, name)
+		ideal, err := r.RunCell(Cell{name, size, pim.IdealHost})
+		if err != nil {
+			return nil, err
+		}
+		h, err := r.RunCell(Cell{name, size, pim.HostOnly})
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.RunCell(Cell{name, size, pim.PIMOnly})
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.RunCell(Cell{name, size, pim.LocalityAware})
+		if err != nil {
+			return nil, err
+		}
+		sh, sp, sl := speedup(ideal, h), speedup(ideal, p), speedup(ideal, l)
+		host = append(host, sh)
+		mem = append(mem, sp)
+		la = append(la, sl)
+		t.Rows = append(t.Rows, []string{name, fmtF(sh), fmtF(sp), fmtF(sl), fmtPct(l.PIMFraction())})
+	}
+	t.Rows = append(t.Rows, []string{"GM", fmtF(geomean(host)), fmtF(geomean(mem)), fmtF(geomean(la)), ""})
+	return t, nil
+}
+
+// Fig7 reproduces Figure 7: total off-chip transfer of Host-Only and
+// PIM-Only normalized to Ideal-Host.
+func (r *Runner) Fig7(size workloads.Size) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 7 (%s inputs): off-chip transfer normalized to Ideal-Host", size),
+		Header: []string{"workload", "Host-Only", "PIM-Only", "Locality-Aware"},
+		Notes:  []string{"paper: PIM-Only ≪ 1 on large inputs, up to 502x on small (SC)"},
+	}
+	norm := func(base, x machine.Result) float64 {
+		if base.OffchipBytes == 0 {
+			return 0
+		}
+		return float64(x.OffchipBytes) / float64(base.OffchipBytes)
+	}
+	for _, name := range r.Opts.Workloads {
+		ideal, err := r.RunCell(Cell{name, size, pim.IdealHost})
+		if err != nil {
+			return nil, err
+		}
+		h, err := r.RunCell(Cell{name, size, pim.HostOnly})
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.RunCell(Cell{name, size, pim.PIMOnly})
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.RunCell(Cell{name, size, pim.LocalityAware})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{name, fmtF(norm(ideal, h)), fmtF(norm(ideal, p)), fmtF(norm(ideal, l))})
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: PageRank across the nine graphs under
+// Host-Only, PIM-Only, and Locality-Aware (normalized to Host-Only),
+// with the fraction of PEIs executed memory-side.
+func (r *Runner) Fig8() (*Table, error) {
+	t := &Table{
+		Title:     "Figure 8: PageRank vs graph size (speedup over Host-Only)",
+		Header:    []string{"graph", "PIM-Only", "Locality-Aware", "PIM%"},
+		BarColumn: 3,
+		Notes: []string{
+			"paper: PIM% grows from 0.3% (soc-Slashdot0811) to 87% (cit-Patents)",
+		},
+	}
+	for _, spec := range r.graphSweep() {
+		r.Opts.logf("fig8: %s", spec.Name)
+		host, err := r.runGraphWorkload("pr", spec, pim.HostOnly)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := r.runGraphWorkload("pr", spec, pim.PIMOnly)
+		if err != nil {
+			return nil, err
+		}
+		la, err := r.runGraphWorkload("pr", spec, pim.LocalityAware)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			spec.Name,
+			fmtF(speedup(host, mem)),
+			fmtF(speedup(host, la)),
+			fmtPct(la.PIMFraction()),
+		})
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: randomly mixed multiprogrammed pairs, each
+// application on half the cores, measuring IPC-sum speedup of
+// Locality-Aware and PIM-Only over Host-Only. Rows are sorted by
+// Locality-Aware speedup, matching the paper's sorted curves.
+func (r *Runner) Fig9() (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 9: %d multiprogrammed pairs (IPC sum over Host-Only, sorted)", r.Opts.Pairs),
+		Header: []string{"pair", "mix", "PIM-Only", "Locality-Aware"},
+		Notes:  []string{"paper: Locality-Aware beats both baselines for the overwhelming majority"},
+	}
+	sizes := []workloads.Size{workloads.Small, workloads.Medium, workloads.Large}
+	rng := rand.New(rand.NewSource(12345))
+	type row struct {
+		mix  string
+		pimS float64
+		laS  float64
+	}
+	var rows []row
+	for p := 0; p < r.Opts.Pairs; p++ {
+		w1 := r.Opts.Workloads[rng.Intn(len(r.Opts.Workloads))]
+		w2 := r.Opts.Workloads[rng.Intn(len(r.Opts.Workloads))]
+		s1 := sizes[rng.Intn(len(sizes))]
+		s2 := sizes[rng.Intn(len(sizes))]
+		mix := fmt.Sprintf("%s-%s+%s-%s", w1, s1, w2, s2)
+		r.Opts.logf("fig9 %d/%d: %s", p+1, r.Opts.Pairs, mix)
+		run := func(mode pim.Mode) (machine.Result, error) {
+			return r.runPair(w1, s1, w2, s2, int64(p), mode)
+		}
+		host, err := run(pim.HostOnly)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := run(pim.PIMOnly)
+		if err != nil {
+			return nil, err
+		}
+		la, err := run(pim.LocalityAware)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{mix: mix, pimS: mem.IPC() / host.IPC(), laS: la.IPC() / host.IPC()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].laS < rows[j].laS })
+	better := 0
+	for i, rw := range rows {
+		t.Rows = append(t.Rows, []string{fmt.Sprint(i), rw.mix, fmtF(rw.pimS), fmtF(rw.laS)})
+		if rw.laS >= rw.pimS && rw.laS >= 1.0 {
+			better++
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("Locality-Aware ≥ both baselines in %d/%d mixes", better, len(rows)))
+	return t, nil
+}
+
+// runPair runs two workloads concurrently, each on half the cores.
+func (r *Runner) runPair(w1 string, s1 workloads.Size, w2 string, s2 workloads.Size, seed int64, mode pim.Mode) (machine.Result, error) {
+	cfg := r.Opts.Cfg.Clone()
+	cfg.MaxOps = 0
+	half := cfg.Cores / 2
+	if half == 0 {
+		half = 1
+	}
+	p1 := r.params(s1)
+	p1.Threads = half
+	p1.Seed = seed*2 + 1
+	p2 := r.params(s2)
+	p2.Threads = cfg.Cores - half
+	p2.Seed = seed*2 + 2
+	a, err := workloads.New(w1, p1)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	b, err := workloads.New(w2, p2)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	m, err := machine.New(cfg, mode)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	streams := append(a.Streams(m), b.Streams(m)...)
+	return m.Run(streams)
+}
+
+// Fig10 reproduces Figure 10: speedup of balanced dispatch (§7.4) on
+// top of Locality-Aware, large inputs.
+func (r *Runner) Fig10() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 10: balanced dispatch speedup over plain Locality-Aware (large inputs)",
+		Header: []string{"workload", "LA_cycles", "LA+BD_cycles", "speedup"},
+		Notes:  []string{"paper: up to +25%, biggest on SC/SVM (read-dominated, large inputs)"},
+	}
+	var all []float64
+	for _, name := range r.Opts.Workloads {
+		r.Opts.logf("fig10: %s", name)
+		la, err := r.RunCell(Cell{name, workloads.Large, pim.LocalityAware})
+		if err != nil {
+			return nil, err
+		}
+		bd, err := r.runWorkload(name, r.params(workloads.Large), pim.LocalityAware,
+			func(c *config.Config) { c.BalancedDispatch = true })
+		if err != nil {
+			return nil, err
+		}
+		s := speedup(la, bd)
+		all = append(all, s)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(la.Cycles), fmt.Sprint(bd.Cycles), fmtF(s)})
+	}
+	t.Rows = append(t.Rows, []string{"GM", "", "", fmtF(geomean(all))})
+	return t, nil
+}
+
+// Fig11a reproduces Figure 11a: sensitivity to operand buffer size
+// (normalized to the 4-entry default), Locality-Aware, geometric mean
+// over workloads; min/max columns give the error bars.
+func (r *Runner) Fig11a() (*Table, error) {
+	return r.pcuSweep("Figure 11a: operand buffer entries (speedup vs 4-entry default)",
+		[]int{1, 2, 4, 8, 16},
+		func(c *config.Config, v int) { c.OperandBufferEntries = v },
+		4)
+}
+
+// Fig11b reproduces Figure 11b: sensitivity to PCU execution width.
+func (r *Runner) Fig11b() (*Table, error) {
+	return r.pcuSweep("Figure 11b: PCU execution width (speedup vs single-issue default)",
+		[]int{1, 2, 4},
+		func(c *config.Config, v int) { c.PCUExecWidth = v },
+		1)
+}
+
+func (r *Runner) pcuSweep(title string, values []int, set func(*config.Config, int), def int) (*Table, error) {
+	t := &Table{
+		Title:  title,
+		Header: []string{"value", "GM_speedup", "min", "max"},
+		Notes:  []string{"paper: 4-entry buffers buy >30% over 1-entry; width beyond 1 is negligible"},
+	}
+	size := workloads.Medium
+	base := make(map[string]machine.Result)
+	for _, name := range r.Opts.Workloads {
+		res, err := r.runWorkload(name, r.params(size), pim.LocalityAware,
+			func(c *config.Config) { set(c, def) })
+		if err != nil {
+			return nil, err
+		}
+		base[name] = res
+	}
+	for _, v := range values {
+		r.Opts.logf("pcu sweep: value %d", v)
+		var sps []float64
+		minS, maxS := 0.0, 0.0
+		for i, name := range r.Opts.Workloads {
+			res, err := r.runWorkload(name, r.params(size), pim.LocalityAware,
+				func(c *config.Config) { set(c, v) })
+			if err != nil {
+				return nil, err
+			}
+			s := speedup(base[name], res)
+			sps = append(sps, s)
+			if i == 0 || s < minS {
+				minS = s
+			}
+			if i == 0 || s > maxS {
+				maxS = s
+			}
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(v), fmtF(geomean(sps)), fmtF(minS), fmtF(maxS)})
+	}
+	return t, nil
+}
+
+// Sec76 reproduces §7.6: the performance cost of the real PMU versus
+// idealized directory and locality-monitor structures.
+func (r *Runner) Sec76() (*Table, error) {
+	t := &Table{
+		Title:  "Section 7.6: PMU idealization (speedup over real PMU, geometric mean)",
+		Header: []string{"variant", "GM_speedup"},
+		Notes:  []string{"paper: ideal directory +0.13%, ideal monitor +0.31% - both negligible"},
+	}
+	size := workloads.Medium
+	variants := []struct {
+		name   string
+		mutate func(*config.Config)
+	}{
+		{"ideal directory", func(c *config.Config) { c.IdealDirectory = true; c.DirectoryLatency = 0 }},
+		{"ideal monitor", func(c *config.Config) { c.IdealMonitor = true; c.MonitorLatency = 0 }},
+		{"both ideal", func(c *config.Config) {
+			c.IdealDirectory = true
+			c.DirectoryLatency = 0
+			c.IdealMonitor = true
+			c.MonitorLatency = 0
+		}},
+	}
+	for _, v := range variants {
+		var sps []float64
+		for _, name := range r.Opts.Workloads {
+			baseRes, err := r.RunCell(Cell{name, size, pim.LocalityAware})
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.runWorkload(name, r.params(size), pim.LocalityAware, v.mutate)
+			if err != nil {
+				return nil, err
+			}
+			sps = append(sps, speedup(baseRes, res))
+		}
+		t.Rows = append(t.Rows, []string{v.name, fmtF(geomean(sps))})
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: memory-hierarchy energy of Host-Only,
+// PIM-Only, and Locality-Aware normalized to Ideal-Host.
+func (r *Runner) Fig12(size workloads.Size) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 12 (%s inputs): memory-hierarchy energy normalized to Ideal-Host", size),
+		Header: []string{"workload", "Host-Only", "PIM-Only", "Locality-Aware"},
+		Notes:  []string{"paper: Locality-Aware lowest across all sizes; PIM-Only pays 2.2x DRAM on small"},
+	}
+	for _, name := range r.Opts.Workloads {
+		ideal, err := r.RunCell(Cell{name, size, pim.IdealHost})
+		if err != nil {
+			return nil, err
+		}
+		h, err := r.RunCell(Cell{name, size, pim.HostOnly})
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.RunCell(Cell{name, size, pim.PIMOnly})
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.RunCell(Cell{name, size, pim.LocalityAware})
+		if err != nil {
+			return nil, err
+		}
+		norm := func(x machine.Result) string {
+			if ideal.Energy.Total() == 0 {
+				return "0"
+			}
+			return fmtF(x.Energy.Total() / ideal.Energy.Total())
+		}
+		t.Rows = append(t.Rows, []string{name, norm(h), norm(p), norm(l)})
+	}
+	return t, nil
+}

@@ -1,0 +1,275 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§7): it builds machines in the four system configurations,
+// runs the ten workloads over the Table 3 input sizes, and renders the
+// comparisons the paper plots. Each experiment has a Fig*/Sec* entry
+// point returning a renderable Table; cmd/peibench drives them from the
+// command line and bench_test.go drives scaled-down versions.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"pimsim/internal/config"
+	"pimsim/internal/graph"
+	"pimsim/internal/machine"
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+// Options configures a reproduction run. The defaults (see Default)
+// pair the scaled machine with scale-64 inputs so every figure runs on a
+// laptop in minutes; Scale=1 with the Baseline config reproduces the
+// paper's full sizes.
+type Options struct {
+	// Cfg is the machine description (cloned per run).
+	Cfg *config.Config
+	// Scale divides the Table 3 input sizes.
+	Scale int
+	// OpBudget bounds per-thread generated ops (0 = run to completion).
+	OpBudget int64
+	// Workloads to include (defaults to all ten).
+	Workloads []string
+	// Pairs is the multiprogrammed-workload count for Figure 9.
+	Pairs int
+	// Verbose, if non-nil, receives progress lines.
+	Verbose io.Writer
+}
+
+// Default returns laptop-scale options.
+func Default() Options {
+	return Options{
+		Cfg:       config.Scaled(),
+		Scale:     64,
+		OpBudget:  60_000,
+		Workloads: workloads.Names,
+		Pairs:     40,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cfg == nil {
+		o.Cfg = config.Scaled()
+	}
+	if o.Scale <= 0 {
+		o.Scale = 64
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = workloads.Names
+	}
+	if o.Pairs <= 0 {
+		o.Pairs = 40
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Verbose != nil {
+		fmt.Fprintf(o.Verbose, format+"\n", args...)
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// BarColumn, when >= 1, renders an ASCII bar chart of that numeric
+	// column next to each row (the "series" view of the paper's bar
+	// figures).
+	BarColumn int
+}
+
+// MarshalRow is one machine-readable row of a table.
+type MarshalRow map[string]string
+
+// JSON serializes the table as {title, notes, rows:[{header:cell}]} for
+// downstream plotting tools.
+func (t *Table) JSON() ([]byte, error) {
+	rows := make([]MarshalRow, len(t.Rows))
+	for i, row := range t.Rows {
+		m := make(MarshalRow, len(row))
+		for j, cell := range row {
+			key := fmt.Sprintf("col%d", j)
+			if j < len(t.Header) {
+				key = t.Header[j]
+			}
+			m[key] = cell
+		}
+		rows[i] = m
+	}
+	return json.MarshalIndent(struct {
+		Title string       `json:"title"`
+		Notes []string     `json:"notes,omitempty"`
+		Rows  []MarshalRow `json:"rows"`
+	}{t.Title, t.Notes, rows}, "", "  ")
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	bars := t.bars()
+	line(t.Header)
+	for i, row := range t.Rows {
+		if bars != nil {
+			row = append(append([]string(nil), row...), bars[i])
+		}
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// bars renders the BarColumn as proportional hash bars (nil when
+// disabled or non-numeric).
+func (t *Table) bars() []string {
+	if t.BarColumn < 1 {
+		return nil
+	}
+	const width = 30
+	vals := make([]float64, len(t.Rows))
+	max := 0.0
+	for i, row := range t.Rows {
+		if t.BarColumn >= len(row) {
+			return nil
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[t.BarColumn], "%"), 64)
+		if err != nil || v < 0 {
+			v = 0
+		}
+		vals[i] = v
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return nil
+	}
+	out := make([]string, len(t.Rows))
+	for i, v := range vals {
+		n := int(v / max * width)
+		out[i] = strings.Repeat("#", n)
+	}
+	return out
+}
+
+// Cell identifies one (workload, size, mode) run.
+type Cell struct {
+	Workload string
+	Size     workloads.Size
+	Mode     pim.Mode
+}
+
+// Runner executes and caches cells so figures sharing runs (6, 7, 12)
+// pay for each simulation once.
+type Runner struct {
+	Opts  Options
+	cache map[string]machine.Result
+}
+
+// NewRunner creates a runner with normalized options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{Opts: opts.withDefaults(), cache: make(map[string]machine.Result)}
+}
+
+func (r *Runner) params(size workloads.Size) workloads.Params {
+	return workloads.Params{
+		Threads:  r.Opts.Cfg.Cores,
+		Size:     size,
+		Scale:    r.Opts.Scale,
+		OpBudget: r.Opts.OpBudget,
+	}
+}
+
+// RunCell simulates one cell (cached).
+func (r *Runner) RunCell(c Cell) (machine.Result, error) {
+	key := fmt.Sprintf("%s/%s/%s", c.Workload, c.Size, c.Mode)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	res, err := r.runWorkload(c.Workload, r.params(c.Size), c.Mode, nil)
+	if err != nil {
+		return machine.Result{}, fmt.Errorf("harness: %s: %w", key, err)
+	}
+	r.cache[key] = res
+	r.Opts.logf("  %-18s %12d cycles  %5.1f%% PIM", key, res.Cycles, 100*res.PIMFraction())
+	return res, nil
+}
+
+// runWorkload builds a fresh machine and runs one workload on it.
+// mutate optionally adjusts the cloned config before building.
+func (r *Runner) runWorkload(name string, p workloads.Params, mode pim.Mode, mutate func(*config.Config)) (machine.Result, error) {
+	cfg := r.Opts.Cfg.Clone()
+	cfg.MaxOps = 0 // budgeting happens in the generators (barrier-safe)
+	if mutate != nil {
+		mutate(cfg)
+	}
+	w, err := workloads.New(name, p)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	m, err := machine.New(cfg, mode)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return m.Run(w.Streams(m))
+}
+
+// runGraphWorkload runs a graph workload on a specific named dataset.
+func (r *Runner) runGraphWorkload(name string, spec graph.DatasetSpec, mode pim.Mode) (machine.Result, error) {
+	p := r.params(workloads.Large)
+	p.Graph = &spec
+	return r.runWorkload(name, p, mode, nil)
+}
+
+// speedup formats a/b as a speedup of b over a.
+func speedup(base, x machine.Result) float64 {
+	if x.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(x.Cycles)
+}
+
+func fmtF(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// geomean of positive values (GM bars of Figure 6/7).
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}

@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+// tinyOptions keeps harness unit tests fast: two workloads, heavy
+// scaling, small budgets.
+func tinyOptions() Options {
+	o := Default()
+	o.Scale = 512
+	o.OpBudget = 5_000
+	o.Workloads = []string{"atf", "hg"}
+	o.Pairs = 3
+	return o
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"x", "1"}, {"longer", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCellCaches(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	c := Cell{"atf", workloads.Small, pim.HostOnly}
+	a, err := r.RunCell(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunCell(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatal("cache returned a different result")
+	}
+	if len(r.cache) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(r.cache))
+	}
+}
+
+func TestFig6ProducesAllRows(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	tb, err := r.Fig6(workloads.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 { // two workloads + GM
+		t.Fatalf("fig6 rows = %d, want 3", len(tb.Rows))
+	}
+	for _, row := range tb.Rows[:2] {
+		for col := 1; col <= 3; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("bad speedup %q in row %v", row[col], row)
+			}
+		}
+	}
+}
+
+func TestFig7SharesRunsWithFig6(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	if _, err := r.Fig6(workloads.Small); err != nil {
+		t.Fatal(err)
+	}
+	before := len(r.cache)
+	if _, err := r.Fig7(workloads.Small); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.cache) != before {
+		t.Fatalf("fig7 re-ran cells: cache %d -> %d", before, len(r.cache))
+	}
+}
+
+func TestFig9PairsRun(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	tb, err := r.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("fig9 rows = %d, want 3", len(tb.Rows))
+	}
+	// Sorted ascending by Locality-Aware speedup.
+	var prev float64
+	for i, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && v < prev {
+			t.Fatal("fig9 rows not sorted")
+		}
+		prev = v
+	}
+}
+
+func TestFig10BalancedDispatch(t *testing.T) {
+	o := tinyOptions()
+	o.Workloads = []string{"sc"}
+	r := NewRunner(o)
+	tb, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+}
+
+func TestFig11Sweeps(t *testing.T) {
+	o := tinyOptions()
+	o.Workloads = []string{"atf"}
+	r := NewRunner(o)
+	ta, err := r.Fig11a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ta.Rows) != 5 {
+		t.Fatalf("fig11a rows = %d", len(ta.Rows))
+	}
+	// The 4-entry default row must have speedup exactly 1.
+	if ta.Rows[2][0] != "4" || ta.Rows[2][1] != "1.000" {
+		t.Fatalf("default row wrong: %v", ta.Rows[2])
+	}
+	tbl, err := r.Fig11b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("fig11b rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestSec76(t *testing.T) {
+	o := tinyOptions()
+	o.Workloads = []string{"atf"}
+	r := NewRunner(o)
+	tb, err := r.Sec76()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Idealizing the PMU must not make things dramatically faster (the
+	// paper's point: the real PMU is near-free).
+	for _, row := range tb.Rows {
+		v, _ := strconv.ParseFloat(row[1], 64)
+		if v > 1.5 || v < 0.7 {
+			t.Fatalf("PMU idealization changed performance by %vx — too much", v)
+		}
+	}
+}
+
+func TestFig12Energy(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	tb, err := r.Fig12(workloads.Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for col := 1; col <= 3; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("bad energy ratio %q", row[col])
+			}
+		}
+	}
+}
+
+func TestFig2AndFig8GraphSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph sweep is slow")
+	}
+	o := tinyOptions()
+	o.Scale = 2048 // shrink the nine graphs hard
+	o.OpBudget = 3_000
+	r := NewRunner(o)
+	t2, err := r.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 9 {
+		t.Fatalf("fig2 rows = %d, want 9", len(t2.Rows))
+	}
+	t8, err := r.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 9 {
+		t.Fatalf("fig8 rows = %d, want 9", len(t8.Rows))
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o = o.withDefaults()
+	if o.Cfg == nil || o.Scale <= 0 || len(o.Workloads) != 10 || o.Pairs <= 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{1, 4}); g != 2 {
+		t.Fatalf("geomean = %v, want 2", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+}
+
+func TestTableBars(t *testing.T) {
+	tb := &Table{
+		Title:     "bars",
+		Header:    []string{"k", "v"},
+		Rows:      [][]string{{"a", "2.0"}, {"b", "1.0"}, {"c", "4.0"}},
+		BarColumn: 1,
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "##############################") {
+		t.Fatalf("missing full-width bar for the max row:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	bars := map[string]int{}
+	for _, l := range lines {
+		for _, k := range []string{"a", "b", "c"} {
+			if strings.HasPrefix(l, k) {
+				bars[k] = strings.Count(l, "#")
+			}
+		}
+	}
+	if bars["c"] != 30 || bars["a"] <= bars["b"] || bars["b"] == 0 {
+		t.Fatalf("bar proportions wrong: %v", bars)
+	}
+}
+
+func TestTableBarsDisabledByDefault(t *testing.T) {
+	tb := &Table{Header: []string{"k", "v"}, Rows: [][]string{{"a", "1"}}}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if strings.Contains(buf.String(), "#") {
+		t.Fatal("bars rendered without BarColumn")
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := &Table{
+		Title:  "j",
+		Header: []string{"workload", "speedup"},
+		Rows:   [][]string{{"pr", "1.25"}},
+		Notes:  []string{"n"},
+	}
+	data, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Title != "j" || len(parsed.Rows) != 1 || parsed.Rows[0]["speedup"] != "1.25" {
+		t.Fatalf("bad JSON: %s", data)
+	}
+}

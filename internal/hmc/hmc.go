@@ -1,0 +1,234 @@
+// Package hmc models the 3D-stacked memory system: Hybrid Memory Cubes
+// composed of vaults (vertical DRAM partitions with a per-vault DRAM
+// controller on the logic die and a TSV bundle to the DRAM dies), and the
+// daisy-chained, packetized off-chip links connecting the host to the
+// cubes. Request and response directions are separate channels, which is
+// what makes the paper's balanced-dispatch optimization (§7.4) possible.
+package hmc
+
+import (
+	"fmt"
+
+	"pimsim/internal/addr"
+	"pimsim/internal/dram"
+	"pimsim/internal/sim"
+	"pimsim/internal/stats"
+)
+
+// Vault is one vertical DRAM partition plus its logic-die controller.
+type Vault struct {
+	k    *sim.Kernel
+	reg  *stats.Registry
+	Ctrl *dram.Controller
+	// TSV is the vertical link between the logic die and the DRAM dies;
+	// every block moved between a vault PCU (or the link interface) and
+	// DRAM crosses it.
+	TSV *sim.Link
+	// Index is the global vault number (cube*vaultsPerCube + vault).
+	Index int
+}
+
+// ReadBlock fetches one 64-byte block from DRAM to the logic die: DRAM
+// access followed by a TSV transfer.
+func (v *Vault) ReadBlock(loc addr.Location, done func()) {
+	v.reg.Add("tsv.bytes", addr.BlockBytes)
+	v.Ctrl.Enqueue(&dram.Request{
+		Bank: loc.Bank,
+		Row:  loc.Row,
+		Done: func() { v.TSV.Send(addr.BlockBytes, done) },
+	})
+}
+
+// WriteBlock stores one block from the logic die into DRAM: TSV transfer
+// followed by the DRAM write.
+func (v *Vault) WriteBlock(loc addr.Location, done func()) {
+	v.reg.Add("tsv.bytes", addr.BlockBytes)
+	v.TSV.Send(addr.BlockBytes, func() {
+		v.Ctrl.Enqueue(&dram.Request{
+			Bank:  loc.Bank,
+			Row:   loc.Row,
+			Write: true,
+			Done:  done,
+		})
+	})
+}
+
+// Cube is one HMC package.
+type Cube struct {
+	Index  int
+	Vaults []*Vault
+}
+
+// Config carries the parameters the chain needs; it is a subset of the
+// machine config to keep this package free of higher-level imports.
+type Config struct {
+	Mapping           addr.Mapping
+	Timing            dram.Timing
+	LinkBytesPerCycle float64
+	LinkLatency       sim.Cycle
+	HopLatency        sim.Cycle
+	TSVBytesPerCycle  float64
+	TSVLatency        sim.Cycle
+	PacketHeaderBytes int
+	// DispatchWindowCyc is the halving period for the request/response
+	// pressure counters (0 disables tracking).
+	DispatchWindowCyc sim.Cycle
+}
+
+// Chain is the host-side view of the daisy-chained memory system: one
+// request link and one response link shared by all cubes, plus the cubes
+// themselves.
+type Chain struct {
+	k     *sim.Kernel
+	cfg   Config
+	Req   *sim.Link
+	Res   *sim.Link
+	Cubes []*Cube
+	stats *stats.Registry
+
+	// cReq/cRes are the paper's C_req/C_res flit counters, halved every
+	// DispatchWindowCyc to form an exponential moving average. Decay is
+	// applied lazily (on read and update) so an idle simulation can
+	// drain its event queue.
+	cReq, cRes float64
+	lastDecay  sim.Cycle
+	seq        uint32
+}
+
+// NewChain builds the memory system described by cfg.
+func NewChain(k *sim.Kernel, cfg Config, reg *stats.Registry) *Chain {
+	ch := &Chain{
+		k:     k,
+		cfg:   cfg,
+		Req:   sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
+		Res:   sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
+		stats: reg,
+	}
+	for c := 0; c < cfg.Mapping.Cubes; c++ {
+		cube := &Cube{Index: c}
+		for v := 0; v < cfg.Mapping.VaultsPerCube; v++ {
+			idx := c*cfg.Mapping.VaultsPerCube + v
+			vault := &Vault{
+				k:     k,
+				reg:   reg,
+				Ctrl:  dram.NewController(k, cfg.Mapping.BanksPerVault, cfg.Timing, reg, "dram."),
+				TSV:   sim.NewLink(k, cfg.TSVBytesPerCycle, cfg.TSVLatency),
+				Index: idx,
+			}
+			cube.Vaults = append(cube.Vaults, vault)
+		}
+		ch.Cubes = append(ch.Cubes, cube)
+	}
+	return ch
+}
+
+// decayPressure applies any halvings that have elapsed since the last
+// update.
+func (ch *Chain) decayPressure() {
+	w := ch.cfg.DispatchWindowCyc
+	if w <= 0 {
+		return
+	}
+	now := ch.k.Now()
+	for ch.lastDecay+w <= now {
+		ch.cReq /= 2
+		ch.cRes /= 2
+		ch.lastDecay += w
+		if ch.cReq == 0 && ch.cRes == 0 {
+			// Skip ahead; nothing left to decay.
+			n := (now - ch.lastDecay) / w
+			ch.lastDecay += n * w
+			break
+		}
+	}
+}
+
+// VaultFor returns the vault owning address a.
+func (ch *Chain) VaultFor(a uint64) (*Vault, addr.Location) {
+	loc := ch.cfg.Mapping.Locate(a)
+	return ch.Cubes[loc.Cube].Vaults[loc.Vault], loc
+}
+
+// ReqPressure and ResPressure expose the moving-average flit counters
+// used by balanced dispatch.
+func (ch *Chain) ReqPressure() float64 { ch.decayPressure(); return ch.cReq }
+func (ch *Chain) ResPressure() float64 { ch.decayPressure(); return ch.cRes }
+
+// Responder sends a response packet of respBytes payload (header added)
+// back to the host and runs done on delivery.
+type Responder func(respBytes int, done func())
+
+// zeroBlock backs the payload field of data packets; functional values
+// live in the memlayout store, so link payloads carry placeholder bytes
+// of the correct size.
+var zeroBlock [addr.BlockBytes]byte
+
+// Deliver sends a request packet to the vault owning address a, then
+// invokes atVault on arrival with the vault, its location, and a
+// Responder for the reply. The request is genuinely encoded at the host
+// and decoded (CRC-checked) at the vault, so packet framing on the link
+// is the wire format's, not an estimate; per-cube hop latency applies in
+// each direction. Byte counts land in the shared registry under
+// offchip.req/res.
+func (ch *Chain) Deliver(a uint64, cmd Command, subcmd uint8, payload []byte, atVault func(v *Vault, loc addr.Location, respond Responder)) {
+	v, loc := ch.VaultFor(a)
+	ch.seq++
+	pkt := &Packet{Cmd: cmd, Subcmd: subcmd, Addr: a, Seq: ch.seq, Payload: payload}
+	wire, err := pkt.Encode()
+	if err != nil {
+		panic(err)
+	}
+	reqBytes := len(wire)
+	hop := ch.cfg.HopLatency * sim.Cycle(loc.Cube)
+	ch.decayPressure()
+	ch.cReq += float64((reqBytes + sim.FlitBytes - 1) / sim.FlitBytes)
+	ch.stats.Add("offchip.req.bytes", int64(reqBytes))
+	ch.stats.Inc("offchip.req.packets")
+	ch.Req.Send(reqBytes, func() {
+		ch.k.Schedule(hop, func() {
+			got, err := Decode(wire)
+			if err != nil || got.Addr != a || got.Cmd != cmd {
+				panic(fmt.Sprintf("hmc: packet corrupted in transit: %v (addr %#x cmd %v)", err, a, cmd))
+			}
+			atVault(v, loc, func(respBytes int, done func()) {
+				total := ch.cfg.PacketHeaderBytes + respBytes
+				ch.decayPressure()
+				ch.cRes += float64((total + sim.FlitBytes - 1) / sim.FlitBytes)
+				ch.stats.Add("offchip.res.bytes", int64(total))
+				ch.stats.Inc("offchip.res.packets")
+				ch.k.Schedule(hop, func() {
+					ch.Res.Send(total, done)
+				})
+			})
+		})
+	})
+}
+
+// Read performs a normal cache-block fill from memory: 16 B request,
+// DRAM read, 64 B + header response.
+func (ch *Chain) Read(a uint64, done func()) {
+	ch.Deliver(a, CmdRead, 0, nil, func(v *Vault, loc addr.Location, respond Responder) {
+		v.ReadBlock(loc, func() { respond(addr.BlockBytes, done) })
+	})
+}
+
+// Write performs a block writeback to memory: header + 64 B request,
+// DRAM write, header-only acknowledgement. done (which may be nil) runs
+// when the write is restored in DRAM, not when the ack returns, matching
+// posted-write semantics.
+func (ch *Chain) Write(a uint64, done func()) {
+	ch.Deliver(a, CmdWrite, 0, zeroBlock[:], func(v *Vault, loc addr.Location, respond Responder) {
+		v.WriteBlock(loc, func() {
+			if done != nil {
+				done()
+			}
+			respond(0, nil)
+		})
+	})
+}
+
+// OffchipBytes reports total bytes moved over the chain in both
+// directions, the quantity Figure 7 normalizes.
+func (ch *Chain) OffchipBytes() int64 {
+	return ch.stats.Get("offchip.req.bytes") + ch.stats.Get("offchip.res.bytes")
+}

@@ -1,0 +1,126 @@
+package hmc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Cmd:     CmdPEI,
+		Subcmd:  3,
+		Tag:     0xBEEF,
+		Addr:    0x1234_5678_9A40,
+		Seq:     77,
+		Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != p.WireSize() {
+		t.Fatalf("wire %d bytes, WireSize %d", len(wire), p.WireSize())
+	}
+	if len(wire) != HeaderBytes+8+TailBytes {
+		t.Fatalf("wire size %d, want 24", len(wire))
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmd != p.Cmd || got.Subcmd != p.Subcmd || got.Addr != p.Addr || got.Seq != p.Seq {
+		t.Fatalf("decode mismatch: %+v vs %+v", got, p)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("payload mismatch: %v vs %v", got.Payload, p.Payload)
+	}
+}
+
+func TestPacketEmptyPayload(t *testing.T) {
+	p := &Packet{Cmd: CmdRead, Addr: 0x40}
+	wire, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 16 {
+		t.Fatalf("read request %d bytes, want 16 (header+tail)", len(wire))
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil || got.Addr != 0x40 {
+		t.Fatalf("decode: %+v", got)
+	}
+}
+
+func TestPacketCRCDetectsCorruption(t *testing.T) {
+	p := &Packet{Cmd: CmdWrite, Addr: 0x1000, Payload: make([]byte, 64)}
+	wire, _ := p.Encode()
+	for _, flip := range []int{0, 5, HeaderBytes + 3, len(wire) - 3} {
+		bad := append([]byte(nil), wire...)
+		bad[flip] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("corruption at byte %d not detected", flip)
+		}
+	}
+}
+
+func TestPacketRejectsOversizePayload(t *testing.T) {
+	p := &Packet{Cmd: CmdWrite, Payload: make([]byte, 300)}
+	if _, err := p.Encode(); err == nil {
+		t.Fatal("expected payload-size error")
+	}
+}
+
+func TestPacketRejectsHugeAddress(t *testing.T) {
+	p := &Packet{Cmd: CmdRead, Addr: 1 << 50}
+	if _, err := p.Encode(); err == nil {
+		t.Fatal("expected address-range error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	if CmdPEI.String() != "PEI" || CmdRead.String() != "READ" {
+		t.Fatal("command names wrong")
+	}
+	if Command(99).String() == "" {
+		t.Fatal("unknown command must still format")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary packets.
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(cmd uint8, sub uint8, tag uint16, a uint64, seq uint32, payload []byte) bool {
+		if len(payload) > 255 {
+			payload = payload[:255]
+		}
+		p := &Packet{
+			Cmd: Command(cmd % 5), Subcmd: sub, Tag: tag,
+			Addr: a & (1<<48 - 1), Seq: seq, Payload: payload,
+		}
+		wire, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return got.Payload == nil && got.Addr == p.Addr && got.Seq == p.Seq
+		}
+		return bytes.Equal(got.Payload, payload) && got.Addr == p.Addr &&
+			got.Cmd == p.Cmd && got.Subcmd == p.Subcmd && got.Seq == p.Seq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"pimsim/internal/pim"
+	"pimsim/internal/sim"
+	"pimsim/internal/vm"
+)
+
+// vmLayer interposes virtual-memory translation (§4.4) between the cores
+// and the rest of the machine: every core access and every PEI issue
+// translates through the issuing core's TLB. The layer demand-maps pages
+// identity (va == pa) so the functional store is unaffected — the point
+// of the simulation is the translation *traffic*: one TLB access per PEI
+// and zero translation hardware below the PMU.
+type vmLayer struct {
+	k       *sim.Kernel
+	pt      *vm.PageTable
+	tlbs    []*vm.TLB
+	missLat sim.Cycle
+
+	hier interface {
+		Access(core int, a uint64, write bool, done func())
+	}
+	pmu interface {
+		Issue(p *pim.PEI)
+		Fence(done func())
+	}
+}
+
+// translate demand-maps and translates va for core, invoking then with
+// the physical address after any walk latency.
+func (v *vmLayer) translate(core int, va uint64, write bool, then func(pa uint64)) {
+	v.pt.MapAt(va, va) // demand paging, identity
+	pa, hit, err := v.tlbs[core].Lookup(va, write)
+	if err != nil {
+		// Unreachable under identity demand paging; a real OS would
+		// handle the fault on the host (§4.4).
+		panic(err)
+	}
+	if hit {
+		then(pa)
+		return
+	}
+	v.k.Schedule(v.missLat, func() { then(pa) })
+}
+
+// Access implements cpu.MemPort.
+func (v *vmLayer) Access(core int, a uint64, write bool, done func()) {
+	v.translate(core, a, write, func(pa uint64) {
+		v.hier.Access(core, pa, write, done)
+	})
+}
+
+// Issue implements cpu.PEIPort: exactly one translation per PEI — the
+// single-cache-block restriction means the target never spans pages.
+func (v *vmLayer) Issue(p *pim.PEI) {
+	writer := p.Op.Info().Writer
+	v.translate(p.Core, p.Target, writer, func(pa uint64) {
+		p.Target = pa
+		v.pmu.Issue(p)
+	})
+}
+
+// Fence implements cpu.PEIPort.
+func (v *vmLayer) Fence(done func()) { v.pmu.Fence(done) }

@@ -1,0 +1,128 @@
+package pim
+
+import (
+	"pimsim/internal/addr"
+	"pimsim/internal/stats"
+)
+
+// Monitor is the locality monitor of §4.3: a tag array with the same
+// sets/ways as the last-level cache, holding a valid bit, a partial tag
+// (XOR-folded), LRU bits, and the 1-bit ignore flag. It is updated by
+// every L3 access *and* by every PIM operation issued to memory, so a
+// block's locality is tracked no matter where its PEIs execute.
+//
+// Predict reports the locality decision for a PEI: true means "high
+// locality — execute on the host". The first hit on an entry allocated
+// by a PIM issue is ignored (flag), damping one-off re-references.
+type Monitor struct {
+	sets, ways int
+	entries    []monEntry
+	clock      uint64
+
+	partialBits uint
+	useIgnore   bool
+	// ideal uses full tags (no aliasing), §7.6's idealized monitor.
+	ideal bool
+
+	reg *stats.Registry
+}
+
+type monEntry struct {
+	valid  bool
+	tag    uint64
+	lru    uint64
+	ignore bool
+}
+
+// NewMonitor creates a monitor with the L3's geometry.
+func NewMonitor(sets, ways int, partialBits uint, useIgnore, ideal bool, reg *stats.Registry) *Monitor {
+	if sets <= 0 || ways <= 0 || sets&(sets-1) != 0 {
+		panic("pim: bad monitor geometry")
+	}
+	return &Monitor{
+		sets: sets, ways: ways,
+		entries:     make([]monEntry, sets*ways),
+		partialBits: partialBits,
+		useIgnore:   useIgnore,
+		ideal:       ideal,
+		reg:         reg,
+	}
+}
+
+func (m *Monitor) set(blk uint64) []monEntry {
+	s := int(blk) & (m.sets - 1)
+	return m.entries[s*m.ways : (s+1)*m.ways]
+}
+
+func (m *Monitor) tagOf(blk uint64) uint64 {
+	full := blk / uint64(m.sets)
+	if m.ideal {
+		return full
+	}
+	return addr.XORFold(full, m.partialBits)
+}
+
+func (m *Monitor) find(blk uint64) *monEntry {
+	set := m.set(blk)
+	tag := m.tagOf(blk)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// touch promotes or allocates blk's entry; fromPIM controls the ignore
+// flag on allocation.
+func (m *Monitor) touch(blk uint64, fromPIM bool) *monEntry {
+	m.clock++
+	if e := m.find(blk); e != nil {
+		e.lru = m.clock
+		return e
+	}
+	set := m.set(blk)
+	victim := &set[0]
+	for i := range set {
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	*victim = monEntry{valid: true, tag: m.tagOf(blk), lru: m.clock, ignore: fromPIM && m.useIgnore}
+	return victim
+}
+
+// OnCacheAccess mirrors an L3 access to blk (hook from the hierarchy).
+func (m *Monitor) OnCacheAccess(blk uint64) {
+	m.touch(blk, false)
+}
+
+// OnPIMIssue mirrors a PIM operation sent to memory, updating the
+// monitor as if the L3 had been accessed (§4.3).
+func (m *Monitor) OnPIMIssue(blk uint64) {
+	m.touch(blk, true)
+}
+
+// Predict reports whether the PEI targeting blk should run on the host
+// (host=true) or in memory, applying the ignore-flag rule: the first hit
+// on a PIM-allocated entry is treated as low locality and clears the
+// flag. miss reports a true tag-array miss, the case where balanced
+// dispatch (§7.4) is allowed to override the decision.
+func (m *Monitor) Predict(blk uint64) (host, miss bool) {
+	e := m.find(blk)
+	if e == nil {
+		m.reg.Inc("pmu.monitor_miss")
+		return false, true
+	}
+	if e.ignore {
+		e.ignore = false
+		m.reg.Inc("pmu.monitor_ignored_hit")
+		return false, false
+	}
+	m.reg.Inc("pmu.monitor_hit")
+	return true, false
+}

@@ -1,0 +1,311 @@
+package pim
+
+import (
+	"fmt"
+
+	"pimsim/internal/addr"
+	"pimsim/internal/cache"
+	"pimsim/internal/config"
+	"pimsim/internal/hmc"
+	"pimsim/internal/memlayout"
+	"pimsim/internal/sim"
+	"pimsim/internal/stats"
+)
+
+// Mode selects the system configuration of §7: where PEIs may execute
+// and whether the locality monitor is consulted.
+type Mode int
+
+const (
+	// HostOnly executes every PEI on host-side PCUs (monitor disabled).
+	HostOnly Mode = iota
+	// PIMOnly executes every PEI on memory-side PCUs (monitor disabled).
+	PIMOnly
+	// LocalityAware steers each PEI by the locality monitor (and
+	// balanced dispatch when enabled).
+	LocalityAware
+	// IdealHost models the idealized conventional machine: PEIs are
+	// plain host instructions with a free, infinite PIM directory.
+	IdealHost
+)
+
+func (m Mode) String() string {
+	switch m {
+	case HostOnly:
+		return "Host-Only"
+	case PIMOnly:
+		return "PIM-Only"
+	case LocalityAware:
+		return "Locality-Aware"
+	default:
+		return "Ideal-Host"
+	}
+}
+
+// PMU is the PEI management unit (§4.3) plus the PCUs it coordinates.
+// It owns PEI atomicity (PIM directory), coherence for offloaded PEIs
+// (back-invalidation / back-writeback through the hierarchy), locality
+// profiling, and the dispatch decision.
+type PMU struct {
+	k     *sim.Kernel
+	cfg   *config.Config
+	reg   *stats.Registry
+	hier  *cache.Hierarchy
+	chain *hmc.Chain
+	store *memlayout.Store
+
+	Mode Mode
+
+	Dir     *Directory
+	Mon     *Monitor
+	HostPCU []*PCU // per core
+	MemPCU  []*PCU // per vault (global index)
+
+	// PEILatency records issue-to-retire latency of every PEI.
+	PEILatency *stats.Histogram
+}
+
+// NewPMU wires the PMU into an existing hierarchy and chain. It installs
+// the locality monitor's L3 hook.
+func NewPMU(k *sim.Kernel, cfg *config.Config, hier *cache.Hierarchy, chain *hmc.Chain,
+	store *memlayout.Store, mode Mode, reg *stats.Registry) *PMU {
+
+	idealDir := cfg.IdealDirectory || mode == IdealHost
+	p := &PMU{
+		k: k, cfg: cfg, reg: reg, hier: hier, chain: chain, store: store,
+		Mode: mode,
+		Dir:  NewDirectory(k, cfg.DirectoryEntries, cfg.DirectoryLatency, idealDir, reg),
+	}
+	p.PEILatency = stats.NewHistogram(16, 64, 256, 1024, 4096, 16384)
+	monSets := cfg.L3.Sets()
+	p.Mon = NewMonitor(monSets, cfg.L3.Ways, cfg.PartialTagBits, cfg.UseIgnoreBit, cfg.IdealMonitor, reg)
+	if mode == LocalityAware {
+		hier.OnL3Access = p.Mon.OnCacheAccess
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		p.HostPCU = append(p.HostPCU, NewPCU(k, cfg.OperandBufferEntries, cfg.PCUExecWidth, 1))
+	}
+	for v := 0; v < cfg.Mapping().VaultsTotal(); v++ {
+		p.MemPCU = append(p.MemPCU, NewPCU(k, cfg.OperandBufferEntries, cfg.PCUExecWidth, cfg.MemPCUClockDiv))
+	}
+	return p
+}
+
+// Issue starts execution of a PEI. The PEI's Done callback runs when it
+// retires; its Output field then holds the output operand.
+func (p *PMU) Issue(pei *PEI) {
+	if err := pei.Validate(); err != nil {
+		panic(err)
+	}
+	p.reg.Inc("pei.total")
+	p.reg.Inc("pei.op." + pei.Op.Info().Name)
+	start := p.k.Now()
+	userDone := pei.Done
+	pei.Done = func() {
+		p.PEILatency.Observe(int64(p.k.Now() - start))
+		if userDone != nil {
+			userDone()
+		}
+	}
+
+	if p.Mode == IdealHost {
+		p.issueIdeal(pei)
+		return
+	}
+	if p.cfg.HMC2AtomicsMode {
+		// HMC 2.0-style native atomic: straight to the vault, no PIM
+		// directory, no coherence action (the target region is treated
+		// as non-cacheable, as prior PIM proposals require). The vault's
+		// inseparable-group scheduling provides per-block atomicity.
+		p.k.Schedule(p.cfg.NoCLatency, func() { p.sendPIMOpRaw(pei, false) })
+		return
+	}
+
+	// Step 1-2 (§4.5): operands to the host PCU's memory-mapped
+	// registers, then the PMU consult — directory lock and locality
+	// monitor in parallel; the monitor's latency is covered by the
+	// crossbar hop to the PMU. Writer PEIs are registered for pfence
+	// ordering at issue, before the lock request reaches the directory.
+	info := pei.Op.Info()
+	if info.Writer {
+		p.Dir.RegisterWriter()
+	}
+	p.k.Schedule(p.cfg.NoCLatency+p.cfg.MonitorLatency, func() {
+		p.Dir.AcquireRegistered(pei.Target, info.Writer, func() {
+			if p.decideHost(pei) {
+				p.executeHost(pei)
+			} else {
+				p.executeMemory(pei)
+			}
+		})
+	})
+}
+
+// decideHost applies the mode's steering policy.
+func (p *PMU) decideHost(pei *PEI) bool {
+	switch p.Mode {
+	case HostOnly:
+		return true
+	case PIMOnly:
+		return false
+	}
+	blk := addr.BlockOf(pei.Target)
+	host, miss := p.Mon.Predict(blk)
+	if miss && p.cfg.BalancedDispatch {
+		host = p.balancedChoice(pei.Op)
+		if host {
+			p.reg.Inc("pei.balanced_to_host")
+		}
+	}
+	return host
+}
+
+// balancedChoice picks the execution side that relieves the more loaded
+// off-chip direction (§7.4). Host execution costs a 16 B read request
+// and an 80 B response (plus an eventual 80 B writeback request for
+// writer PEIs); memory execution costs header+input on the request link
+// and header+output on the response link.
+func (p *PMU) balancedChoice(op OpKind) bool {
+	info := op.Info()
+	h := float64(p.cfg.PacketHeaderBytes)
+	hostReq, hostRes := h, h+float64(addr.BlockBytes)
+	if info.Writer {
+		hostReq += h + float64(addr.BlockBytes)
+	}
+	memReq := h + float64(info.InputBytes)
+	memRes := h + float64(info.OutputBytes)
+	if p.chain.ResPressure() > p.chain.ReqPressure() {
+		return hostRes < memRes
+	}
+	return hostReq < memReq
+}
+
+// issueIdeal runs the PEI as if it were a normal host instruction:
+// perfect atomicity at zero cost, no PCU structures.
+func (p *PMU) issueIdeal(pei *PEI) {
+	info := pei.Op.Info()
+	p.Dir.Acquire(pei.Target, info.Writer, func() {
+		p.hier.Access(pei.Core, pei.Target, false, func() {
+			p.k.Schedule(sim.Cycle(info.ComputeCycles), func() {
+				pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
+				finish := func() {
+					p.reg.Inc("pei.host")
+					pei.Done()
+					p.Dir.Release(pei.Target, info.Writer)
+				}
+				if info.Writer {
+					p.hier.Access(pei.Core, pei.Target, true, finish)
+				} else {
+					finish()
+				}
+			})
+		})
+	})
+}
+
+// executeHost runs the PEI on the issuing core's host-side PCU (§4.5,
+// Figure 4): operand buffer entry, block load through the L1, compute,
+// store back through the L1 for writer PEIs.
+func (p *PMU) executeHost(pei *PEI) {
+	info := pei.Op.Info()
+	pcu := p.HostPCU[pei.Core]
+	pcu.Acquire(func() {
+		p.hier.Access(pei.Core, pei.Target, false, func() {
+			pcu.Compute(info.ComputeCycles, func() {
+				pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
+				finish := func() {
+					p.reg.Inc("pei.host")
+					pcu.Release()
+					pei.Done()
+					p.Dir.Release(pei.Target, info.Writer)
+				}
+				if info.Writer {
+					p.hier.Access(pei.Core, pei.Target, true, finish)
+				} else {
+					finish()
+				}
+			})
+		})
+	})
+}
+
+// executeMemory offloads the PEI to the vault owning its target (§4.5,
+// Figure 5): back-invalidate/back-writeback the block, ship the operands,
+// run on the vault PCU, and return the output operand.
+func (p *PMU) executeMemory(pei *PEI) {
+	info := pei.Op.Info()
+	blk := addr.BlockOf(pei.Target)
+	if p.Mode == LocalityAware {
+		p.Mon.OnPIMIssue(blk)
+	}
+
+	// Steps 3 and 4 proceed in parallel: coherence cleanup of the target
+	// block, and operand transfer from the host PCU's memory-mapped
+	// registers to the PMU.
+	pending := 2
+	proceed := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		p.sendPIMOp(pei)
+	}
+	if info.Writer {
+		p.hier.BackInvalidate(pei.Target, proceed)
+	} else {
+		p.hier.BackWriteback(pei.Target, proceed)
+	}
+	p.k.Schedule(p.cfg.NoCLatency, proceed)
+}
+
+func (p *PMU) sendPIMOp(pei *PEI) { p.sendPIMOpRaw(pei, true) }
+
+// sendPIMOpRaw ships the PIM operation to its vault; locked indicates a
+// PIM-directory entry is held and must be released at completion.
+func (p *PMU) sendPIMOpRaw(pei *PEI, locked bool) {
+	info := pei.Op.Info()
+	p.chain.Deliver(pei.Target, hmc.CmdPEI, uint8(pei.Op), pei.Input, func(v *hmc.Vault, loc addr.Location, respond hmc.Responder) {
+		pcu := p.MemPCU[v.Index]
+		pcu.Acquire(func() {
+			v.ReadBlock(loc, func() {
+				pcu.Compute(info.ComputeCycles, func() {
+					pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
+					if info.Writer {
+						// Posted write: the vault's DRAM controller
+						// schedules a PEI's accesses as an inseparable
+						// group (§4.3), so the response needs not wait
+						// for the write to restore — any later access
+						// to this block at this vault orders behind it.
+						v.WriteBlock(loc, nil)
+					}
+					respond(info.OutputBytes, func() {
+						p.reg.Inc("pei.mem")
+						pei.Done()
+						if locked {
+							p.Dir.Release(pei.Target, info.Writer)
+						}
+					})
+					pcu.Release()
+				})
+			})
+		})
+	})
+}
+
+// Fence implements pfence: done runs once all previously issued writer
+// PEIs (from any core) have completed.
+func (p *PMU) Fence(done func()) {
+	p.reg.Inc("pei.fences")
+	p.Dir.Fence(done)
+}
+
+// Summary formats the steering statistics.
+func (p *PMU) Summary() string {
+	host, mem := p.reg.Get("pei.host"), p.reg.Get("pei.mem")
+	total := host + mem
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(mem) / float64(total)
+	}
+	return fmt.Sprintf("%s: %d PEIs (%d host, %d memory, %.1f%% PIM)", p.Mode, total, host, mem, pct)
+}

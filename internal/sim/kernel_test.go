@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.Schedule(5, func() { got = append(got, 5) })
+	k.Schedule(1, func() { got = append(got, 1) })
+	k.Schedule(3, func() { got = append(got, 3) })
+	k.Run()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now() = %d, want 5", k.Now())
+	}
+}
+
+func TestKernelFIFOSameCycle(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(7, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestKernelZeroDelayRunsThisCycle(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.Schedule(2, func() {
+		k.Schedule(0, func() {
+			if k.Now() != 2 {
+				t.Errorf("zero-delay event ran at %d, want 2", k.Now())
+			}
+			fired = true
+		})
+	})
+	k.Run()
+	if !fired {
+		t.Fatal("zero-delay event never fired")
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			k.Schedule(1, rec)
+		}
+	}
+	k.Schedule(0, rec)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Now() != 99 {
+		t.Fatalf("Now() = %d, want 99", k.Now())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Cycle
+	for _, c := range []Cycle{10, 20, 30} {
+		c := c
+		k.At(c, func() { fired = append(fired, c) })
+	}
+	k.RunUntil(20)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want first two", fired)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after Run, want three", fired)
+	}
+}
+
+func TestKernelRunUntilAdvancesIdleTime(t *testing.T) {
+	k := NewKernel()
+	k.RunUntil(1000)
+	if k.Now() != 1000 {
+		t.Fatalf("Now() = %d, want 1000", k.Now())
+	}
+}
+
+func TestKernelPastSchedulePanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on scheduling in the past")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	k.Schedule(-1, func() {})
+}
+
+// Property: however delays are chosen, events fire in nondecreasing time
+// order and the kernel dispatches exactly as many events as scheduled.
+func TestKernelMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var last Cycle = -1
+		ok := true
+		for _, d := range delays {
+			k.Schedule(Cycle(d), func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok && k.Executed == uint64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelRunWhile(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	var tick func()
+	tick = func() { n++; k.Schedule(1, tick) }
+	k.Schedule(0, tick)
+	k.RunWhile(func() bool { return n < 50 })
+	if n != 50 {
+		t.Fatalf("n = %d, want 50", n)
+	}
+}

@@ -1,0 +1,117 @@
+// Package stats provides the named counters and simple distributions that
+// simulator components report into and that the experiment harness reads
+// out of. A Registry is plain data: no locking is needed because the
+// simulator is single-threaded.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry holds named counters. Counters are created on first use.
+type Registry struct {
+	counters map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.counters[name] += delta
+}
+
+// Inc increments the named counter by one.
+func (r *Registry) Inc(name string) { r.Add(name, 1) }
+
+// Get returns the value of the named counter (zero if never touched).
+func (r *Registry) Get(name string) int64 { return r.counters[name] }
+
+// Set overwrites the named counter.
+func (r *Registry) Set(name string, v int64) { r.counters[name] = v }
+
+// Names returns all counter names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (r *Registry) Snapshot() map[string]int64 {
+	m := make(map[string]int64, len(r.counters))
+	for k, v := range r.counters {
+		m[k] = v
+	}
+	return m
+}
+
+// Reset zeroes every counter but keeps the names registered.
+func (r *Registry) Reset() {
+	for k := range r.counters {
+		r.counters[k] = 0
+	}
+}
+
+// Dump writes "name value" lines in sorted order.
+func (r *Registry) Dump(w io.Writer) {
+	for _, n := range r.Names() {
+		fmt.Fprintf(w, "%-40s %d\n", n, r.counters[n])
+	}
+}
+
+// Histogram is a fixed-bucket histogram for latency-style distributions.
+type Histogram struct {
+	// Bounds are the inclusive upper bounds of each bucket; values above
+	// the last bound land in the overflow bucket.
+	Bounds []int64
+	Counts []int64
+	// Overflow counts samples above the last bound.
+	Overflow int64
+	// N, Sum, Max summarize all observed samples.
+	N   int64
+	Sum int64
+	Max int64
+}
+
+// NewHistogram creates a histogram with the given bucket upper bounds,
+// which must be strictly increasing.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{Bounds: bounds, Counts: make([]int64, len(bounds))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.N++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Overflow++
+}
+
+// Mean returns the mean of all samples, or zero if none were observed.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}

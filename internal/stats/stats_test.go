@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a")
+	r.Add("a", 4)
+	r.Add("b", -2)
+	if got := r.Get("a"); got != 5 {
+		t.Fatalf("a = %d, want 5", got)
+	}
+	if got := r.Get("b"); got != -2 {
+		t.Fatalf("b = %d, want -2", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing = %d, want 0", got)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("zeta")
+	r.Inc("alpha")
+	r.Inc("mid")
+	names := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistrySnapshotIsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("x", 10)
+	s := r.Snapshot()
+	r.Add("x", 5)
+	if s["x"] != 10 {
+		t.Fatalf("snapshot mutated: %d", s["x"])
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Add("x", 3)
+	r.Reset()
+	if r.Get("x") != 0 {
+		t.Fatal("Reset did not zero counter")
+	}
+	if len(r.Names()) != 1 {
+		t.Fatal("Reset dropped counter name")
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Add("cache.l1.hits", 7)
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	if !strings.Contains(buf.String(), "cache.l1.hits") || !strings.Contains(buf.String(), "7") {
+		t.Fatalf("Dump output %q missing counter", buf.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	h.Observe(5)
+	h.Observe(10)
+	h.Observe(11)
+	h.Observe(5000)
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 0 || h.Overflow != 1 {
+		t.Fatalf("buckets = %v overflow %d", h.Counts, h.Overflow)
+	}
+	if h.Max != 5000 || h.N != 4 {
+		t.Fatalf("Max=%d N=%d", h.Max, h.N)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-increasing bounds")
+		}
+	}()
+	NewHistogram(10, 10)
+}
+
+// Property: mean*N == sum of samples, and total bucket population == N.
+func TestHistogramConservation(t *testing.T) {
+	f := func(samples []int16) bool {
+		h := NewHistogram(16, 256, 4096)
+		var sum int64
+		for _, s := range samples {
+			v := int64(s)
+			if v < 0 {
+				v = -v
+			}
+			sum += v
+			h.Observe(v)
+		}
+		var pop int64
+		for _, c := range h.Counts {
+			pop += c
+		}
+		pop += h.Overflow
+		return pop == int64(len(samples)) && h.Sum == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"pimsim/internal/config"
+	"pimsim/internal/cpu"
+	"pimsim/internal/machine"
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+func TestRoundTripAllOpKinds(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	barrier := cpu.NewBarrier(2)
+	ops := []cpu.Op{
+		{Kind: cpu.OpCompute, Cycles: 42},
+		{Kind: cpu.OpLoad, Addr: 0x1234},
+		{Kind: cpu.OpStore, Addr: 0x5678},
+		{Kind: cpu.OpPEI, PEI: &pim.PEI{Op: pim.OpMin64, Target: 0x9ABC, Input: pim.U64Input(7)}},
+		{Kind: cpu.OpFence},
+		{Kind: cpu.OpBarrier, Barrier: barrier},
+		{Kind: cpu.OpDrain},
+	}
+	for _, op := range ops {
+		w.Record(0, op)
+	}
+	w.Record(1, cpu.Op{Kind: cpu.OpBarrier, Barrier: barrier})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StoreSize != 1<<20 {
+		t.Fatalf("store size %d", tr.StoreSize)
+	}
+	if len(tr.PerThread[0]) != 7 || len(tr.PerThread[1]) != 1 {
+		t.Fatalf("per-thread counts %d/%d", len(tr.PerThread[0]), len(tr.PerThread[1]))
+	}
+	got := tr.PerThread[0]
+	if got[0].Cycles != 42 || got[1].Addr != 0x1234 || got[2].Addr != 0x5678 {
+		t.Fatalf("scalar ops wrong: %+v", got[:3])
+	}
+	p := got[3].PEI
+	if p.Op != pim.OpMin64 || p.Target != 0x9ABC || len(p.Input) != 8 {
+		t.Fatalf("PEI wrong: %+v", p)
+	}
+	if got[5].Barrier == nil || got[5].Barrier != tr.PerThread[1][0].Barrier {
+		t.Fatal("barrier identity not preserved across threads")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("NOTATRACE....")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRecordReplayWorkload(t *testing.T) {
+	cfg := config.Scaled()
+	p := workloads.Params{Threads: 2, Size: workloads.Small, Scale: 1024}
+
+	// Live run, recording every op.
+	w := workloads.MustNew("bfs", p)
+	m := machine.MustNew(cfg, pim.LocalityAware)
+	live := w.Streams(m)
+	var buf bytes.Buffer
+	tw, err := NewWriter(&buf, len(live), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recStreams := make([]cpu.Stream, len(live))
+	for i, s := range live {
+		recStreams[i] = &RecordingStream{Inner: s, Writer: tw, Thread: i}
+	}
+	liveRes, err := m.Run(recStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the header's store size by rewriting (simpler: new writer
+	// knew 0; the replay machine sizes its store from the live machine).
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ops := range tr.PerThread {
+		total += len(ops)
+	}
+	if int64(total) != liveRes.Retired {
+		t.Fatalf("trace has %d ops, live retired %d", total, liveRes.Retired)
+	}
+
+	// Replay onto a fresh machine: identical cycle count (determinism
+	// across generation and replay), because the op sequence is the
+	// machine's entire input.
+	m2 := machine.MustNew(cfg, pim.LocalityAware)
+	m2.Store.Alloc(int(m.Store.Size()), 64) // back the recorded addresses
+	replayRes, err := m2.Run(tr.Streams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayRes.Cycles != liveRes.Cycles {
+		t.Fatalf("replay %d cycles, live %d", replayRes.Cycles, liveRes.Cycles)
+	}
+	if replayRes.PEIMem != liveRes.PEIMem {
+		t.Fatalf("replay steering differs: %d vs %d", replayRes.PEIMem, liveRes.PEIMem)
+	}
+}
+
+func TestReplayTwiceFromOneTrace(t *testing.T) {
+	cfg := config.Scaled()
+	p := workloads.Params{Threads: 2, Size: workloads.Small, Scale: 2048}
+	w := workloads.MustNew("atf", p)
+	m := machine.MustNew(cfg, pim.HostOnly)
+	live := w.Streams(m)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, len(live), 0)
+	rec := make([]cpu.Stream, len(live))
+	for i, s := range live {
+		rec[i] = &RecordingStream{Inner: s, Writer: tw, Thread: i}
+	}
+	if _, err := m.Run(rec); err != nil {
+		t.Fatal(err)
+	}
+	tw.Close()
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() int64 {
+		m2 := machine.MustNew(cfg, pim.HostOnly)
+		m2.Store.Alloc(int(m.Store.Size()), 64)
+		res, err := m2.Run(tr.Streams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Cycles)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("re-replay differs: %d vs %d", a, b)
+	}
+}
+
+func TestReplayAcrossModes(t *testing.T) {
+	// A trace recorded once can drive any machine mode.
+	cfg := config.Scaled()
+	p := workloads.Params{Threads: 2, Size: workloads.Small, Scale: 2048}
+	w := workloads.MustNew("atf", p)
+	m := machine.MustNew(cfg, pim.HostOnly)
+	live := w.Streams(m)
+	var buf bytes.Buffer
+	tw, _ := NewWriter(&buf, len(live), 0)
+	rec := make([]cpu.Stream, len(live))
+	for i, s := range live {
+		rec[i] = &RecordingStream{Inner: s, Writer: tw, Thread: i}
+	}
+	if _, err := m.Run(rec); err != nil {
+		t.Fatal(err)
+	}
+	tw.Close()
+	tr, _ := Read(&buf)
+	for _, mode := range []pim.Mode{pim.HostOnly, pim.PIMOnly, pim.LocalityAware} {
+		m2 := machine.MustNew(cfg, mode)
+		m2.Store.Alloc(int(m.Store.Size()), 64)
+		res, err := m2.Run(tr.Streams())
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Cycles <= 0 {
+			t.Fatalf("%v: no progress", mode)
+		}
+	}
+}

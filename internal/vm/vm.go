@@ -1,0 +1,161 @@
+// Package vm implements the virtual-memory support of §4.4: per-process
+// page tables and per-core TLBs. The paper's design point is that PEIs
+// need *no* address translation hardware in memory — the issuing core
+// translates the PEI's target through its own TLB, exactly once per PEI
+// (the single-cache-block restriction guarantees one page suffices), and
+// the PMU and all PCUs see physical addresses only.
+//
+// The machine runs with an identity-mapped address space by default;
+// enabling VM interposes translation on every core access and PEI issue,
+// adding TLB hit latency (folded into the L1 pipeline) or a page-table
+// walk on misses.
+package vm
+
+import (
+	"fmt"
+
+	"pimsim/internal/sim"
+	"pimsim/internal/stats"
+)
+
+// PageShift selects 4 KiB pages.
+const PageShift = 12
+
+// PageSize is the page size in bytes.
+const PageSize = 1 << PageShift
+
+// PageTable is a single-level translation map (the simulator does not
+// model the radix-tree walk structurally, only its latency).
+type PageTable struct {
+	// next is the next free physical frame for Map's allocations.
+	next     uint64
+	entries  map[uint64]uint64 // vpn -> pfn
+	readOnly map[uint64]bool
+}
+
+// NewPageTable creates an empty address space whose physical frames
+// start at base (frames are handed out sequentially).
+func NewPageTable(base uint64) *PageTable {
+	return &PageTable{
+		next:     base >> PageShift,
+		entries:  make(map[uint64]uint64),
+		readOnly: make(map[uint64]bool),
+	}
+}
+
+// Map ensures the n bytes at virtual address va are backed, allocating
+// fresh frames for unmapped pages, and returns the number of newly
+// mapped pages.
+func (pt *PageTable) Map(va uint64, n int) int {
+	mapped := 0
+	for vpn := va >> PageShift; vpn <= (va+uint64(n)-1)>>PageShift; vpn++ {
+		if _, ok := pt.entries[vpn]; !ok {
+			pt.entries[vpn] = pt.next
+			pt.next++
+			mapped++
+		}
+	}
+	return mapped
+}
+
+// MapAt installs an explicit translation (for aliasing tests).
+func (pt *PageTable) MapAt(va, pa uint64) {
+	pt.entries[va>>PageShift] = pa >> PageShift
+}
+
+// Protect marks the page containing va read-only.
+func (pt *PageTable) Protect(va uint64) { pt.readOnly[va>>PageShift] = true }
+
+// Translate returns the physical address for va, or an error for an
+// unmapped page (a page fault — the paper handles these on the host
+// exactly as a conventional machine would, so the simulator surfaces
+// them as errors rather than modeling OS latency) or a write to a
+// read-only page.
+func (pt *PageTable) Translate(va uint64, write bool) (uint64, error) {
+	vpn := va >> PageShift
+	pfn, ok := pt.entries[vpn]
+	if !ok {
+		return 0, fmt.Errorf("vm: page fault at %#x (unmapped)", va)
+	}
+	if write && pt.readOnly[vpn] {
+		return 0, fmt.Errorf("vm: protection fault at %#x (read-only)", va)
+	}
+	return pfn<<PageShift | va&(PageSize-1), nil
+}
+
+// TLB is a per-core translation lookaside buffer: fully associative,
+// true-LRU, holding page translations. Sized like a modern L1 DTLB.
+type TLB struct {
+	entries int
+	slots   []tlbSlot
+	clock   uint64
+
+	pt  *PageTable
+	reg *stats.Registry
+	// HitLatency is folded into the L1 access in a real pipeline and
+	// costs nothing extra; MissLatency models the page-table walk.
+	MissLatency sim.Cycle
+
+	Hits, Misses int64
+}
+
+type tlbSlot struct {
+	valid bool
+	vpn   uint64
+	pfn   uint64
+	lru   uint64
+}
+
+// NewTLB creates a TLB over the given page table.
+func NewTLB(entries int, pt *PageTable, missLatency sim.Cycle, reg *stats.Registry) *TLB {
+	if entries <= 0 {
+		panic("vm: TLB needs at least one entry")
+	}
+	return &TLB{entries: entries, slots: make([]tlbSlot, entries), pt: pt, reg: reg, MissLatency: missLatency}
+}
+
+// Lookup translates va, reporting the physical address, whether the
+// translation hit the TLB, and any fault. Misses install the
+// translation (walk latency is charged by the caller via MissLatency).
+func (t *TLB) Lookup(va uint64, write bool) (pa uint64, hit bool, err error) {
+	vpn := va >> PageShift
+	t.clock++
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.valid && s.vpn == vpn {
+			s.lru = t.clock
+			t.Hits++
+			t.reg.Inc("tlb.hits")
+			// Permission checks still consult the page table (the PTE
+			// bits travel with the TLB entry in real hardware; the
+			// outcome is identical).
+			pa, err = t.pt.Translate(va, write)
+			return pa, true, err
+		}
+	}
+	t.Misses++
+	t.reg.Inc("tlb.misses")
+	pa, err = t.pt.Translate(va, write)
+	if err != nil {
+		return 0, false, err
+	}
+	victim := &t.slots[0]
+	for i := range t.slots {
+		if !t.slots[i].valid {
+			victim = &t.slots[i]
+			break
+		}
+		if t.slots[i].lru < victim.lru {
+			victim = &t.slots[i]
+		}
+	}
+	*victim = tlbSlot{valid: true, vpn: vpn, pfn: pa >> PageShift, lru: t.clock}
+	return pa, false, nil
+}
+
+// Flush invalidates all entries (context switch).
+func (t *TLB) Flush() {
+	for i := range t.slots {
+		t.slots[i] = tlbSlot{}
+	}
+}

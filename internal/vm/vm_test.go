@@ -1,0 +1,184 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimsim/internal/stats"
+)
+
+func TestMapAndTranslate(t *testing.T) {
+	pt := NewPageTable(1 << 30)
+	if n := pt.Map(0x1000, 100); n != 1 {
+		t.Fatalf("mapped %d pages, want 1", n)
+	}
+	pa, err := pt.Translate(0x1234, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa&(PageSize-1) != 0x234 {
+		t.Fatalf("page offset not preserved: %#x", pa)
+	}
+	if pa < 1<<30 {
+		t.Fatalf("frame below base: %#x", pa)
+	}
+}
+
+func TestMapSpansPages(t *testing.T) {
+	pt := NewPageTable(0)
+	if n := pt.Map(PageSize-8, 16); n != 2 {
+		t.Fatalf("cross-page map allocated %d pages, want 2", n)
+	}
+}
+
+func TestMapIdempotent(t *testing.T) {
+	pt := NewPageTable(0)
+	pt.Map(0x4000, 8)
+	if n := pt.Map(0x4000, 8); n != 0 {
+		t.Fatalf("remap allocated %d pages, want 0", n)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	pt := NewPageTable(0)
+	if _, err := pt.Translate(0x9999, false); err == nil {
+		t.Fatal("expected page fault")
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	pt := NewPageTable(0)
+	pt.Map(0x1000, 8)
+	pt.Protect(0x1000)
+	if _, err := pt.Translate(0x1008, false); err != nil {
+		t.Fatal("read of read-only page should succeed")
+	}
+	if _, err := pt.Translate(0x1008, true); err == nil {
+		t.Fatal("expected protection fault on write")
+	}
+}
+
+func TestMapAtAlias(t *testing.T) {
+	pt := NewPageTable(0)
+	pt.MapAt(0xA000, 0x5000)
+	pa, err := pt.Translate(0xA010, false)
+	if err != nil || pa != 0x5010 {
+		t.Fatalf("alias translate = %#x, %v", pa, err)
+	}
+}
+
+// Property: distinct virtual pages map to distinct physical frames.
+func TestNoFrameSharing(t *testing.T) {
+	f := func(pages []uint16) bool {
+		pt := NewPageTable(0)
+		for _, p := range pages {
+			pt.Map(uint64(p)<<PageShift, 1)
+		}
+		seen := map[uint64]uint64{}
+		for _, p := range pages {
+			pa, err := pt.Translate(uint64(p)<<PageShift, false)
+			if err != nil {
+				return false
+			}
+			if prior, ok := seen[pa>>PageShift]; ok && prior != uint64(p) {
+				return false
+			}
+			seen[pa>>PageShift] = uint64(p)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestTLB(entries int) (*TLB, *PageTable) {
+	pt := NewPageTable(1 << 20)
+	return NewTLB(entries, pt, 100, stats.NewRegistry()), pt
+}
+
+func TestTLBHitAfterMiss(t *testing.T) {
+	tlb, pt := newTestTLB(4)
+	pt.Map(0x1000, 8)
+	_, hit, err := tlb.Lookup(0x1000, false)
+	if err != nil || hit {
+		t.Fatalf("first lookup hit=%v err=%v, want miss", hit, err)
+	}
+	_, hit, err = tlb.Lookup(0x1400, false) // same page
+	if err != nil || !hit {
+		t.Fatalf("second lookup hit=%v err=%v, want hit", hit, err)
+	}
+	if tlb.Hits != 1 || tlb.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb, pt := newTestTLB(2)
+	pt.Map(0, 3*PageSize)
+	tlb.Lookup(0*PageSize, false)
+	tlb.Lookup(1*PageSize, false)
+	tlb.Lookup(0*PageSize, false) // promote page 0
+	tlb.Lookup(2*PageSize, false) // evicts page 1 (LRU)
+	// Check the survivor first — probing the evicted page would itself
+	// install it and perturb the state under test.
+	if _, hit, _ := tlb.Lookup(0*PageSize, false); !hit {
+		t.Fatal("promoted page was evicted")
+	}
+	if _, hit, _ := tlb.Lookup(1*PageSize, false); hit {
+		t.Fatal("evicted page still hit")
+	}
+}
+
+func TestTLBFaultNotCached(t *testing.T) {
+	tlb, pt := newTestTLB(4)
+	if _, _, err := tlb.Lookup(0x7000, false); err == nil {
+		t.Fatal("expected fault")
+	}
+	pt.Map(0x7000, 8)
+	pa, hit, err := tlb.Lookup(0x7000, false)
+	if err != nil || hit {
+		t.Fatalf("post-map lookup pa=%#x hit=%v err=%v", pa, hit, err)
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb, pt := newTestTLB(4)
+	pt.Map(0x1000, 8)
+	tlb.Lookup(0x1000, false)
+	tlb.Flush()
+	if _, hit, _ := tlb.Lookup(0x1000, false); hit {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestTLBWriteFaultSurfaces(t *testing.T) {
+	tlb, pt := newTestTLB(4)
+	pt.Map(0x2000, 8)
+	pt.Protect(0x2000)
+	tlb.Lookup(0x2000, false) // cached
+	if _, _, err := tlb.Lookup(0x2000, true); err == nil {
+		t.Fatal("TLB hit must still enforce protection")
+	}
+}
+
+// Property: translations through the TLB always equal direct page-table
+// translations.
+func TestTLBConsistentWithPageTable(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		tlb, pt := newTestTLB(4)
+		pt.Map(0, 1<<20)
+		for _, a := range addrs {
+			va := uint64(a) << 4
+			got, _, err := tlb.Lookup(va, false)
+			want, err2 := pt.Translate(va, false)
+			if err != nil || err2 != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"pimsim/internal/graph"
+)
+
+// These tests pin the golden reference implementations the workload
+// verifiers compare against. If a golden model is wrong, every
+// "verified" simulation result is wrong with it — so the goldens get
+// their own invariants checked on independent graphs.
+
+func goldenGraph() *graph.Graph {
+	return graph.RMAT(512, 4096, 77)
+}
+
+func TestGoldenBFSInvariants(t *testing.T) {
+	g := goldenGraph()
+	src := g.MaxDegreeVertex()
+	levels, rounds := goldenBFS(g, src)
+	if levels[src] != 0 {
+		t.Fatalf("source level %d", levels[src])
+	}
+	if rounds <= 0 {
+		t.Fatal("no rounds")
+	}
+	// Triangle property of BFS levels: along any edge (v,w),
+	// level(w) <= level(v)+1; and every finite level is witnessed by a
+	// predecessor at level-1.
+	witnessed := make([]bool, g.NumVertices())
+	witnessed[src] = true
+	for v := 0; v < g.NumVertices(); v++ {
+		if levels[v] == infDist {
+			continue
+		}
+		for _, w := range g.Successors(v) {
+			if levels[w] > levels[v]+1 {
+				t.Fatalf("edge (%d,%d): level %d -> %d violates BFS", v, w, levels[v], levels[w])
+			}
+			if levels[w] == levels[v]+1 {
+				witnessed[w] = true
+			}
+		}
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if levels[v] != infDist && levels[v] > 0 && !witnessed[v] {
+			t.Fatalf("vertex %d at level %d has no predecessor at level %d", v, levels[v], levels[v]-1)
+		}
+	}
+}
+
+func TestGoldenSSSPInvariants(t *testing.T) {
+	g := goldenGraph()
+	src := g.MaxDegreeVertex()
+	dist, rounds := goldenSSSP(g, src)
+	if dist[src] != 0 || rounds <= 0 {
+		t.Fatalf("src dist %d rounds %d", dist[src], rounds)
+	}
+	// Relaxed fixpoint: no edge can improve any distance.
+	for v := 0; v < g.NumVertices(); v++ {
+		if dist[v] == infDist {
+			continue
+		}
+		for _, w := range g.Successors(v) {
+			if dist[v]+edgeWeight(v, w) < dist[w] {
+				t.Fatalf("edge (%d,%d) still relaxable: %d + %d < %d",
+					v, w, dist[v], edgeWeight(v, w), dist[w])
+			}
+		}
+	}
+	// SSSP distances dominate BFS levels (weights >= 1).
+	levels, _ := goldenBFS(g, src)
+	for v := range dist {
+		if (dist[v] == infDist) != (levels[v] == infDist) {
+			t.Fatalf("vertex %d reachability disagrees between BFS and SSSP", v)
+		}
+		if dist[v] != infDist && dist[v] < levels[v] {
+			t.Fatalf("vertex %d: weighted dist %d below hop count %d", v, dist[v], levels[v])
+		}
+	}
+}
+
+func TestGoldenWCCInvariants(t *testing.T) {
+	g := goldenGraph().Symmetrize()
+	labels, rounds := goldenWCC(g)
+	if rounds <= 0 {
+		t.Fatal("no rounds")
+	}
+	// Fixpoint: neighbors share labels (the graph is symmetric).
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Successors(v) {
+			if labels[v] != labels[w] {
+				t.Fatalf("edge (%d,%d) crosses components %d/%d", v, w, labels[v], labels[w])
+			}
+		}
+	}
+	// Each label is the minimum vertex id of its component, so the
+	// vertex carrying the label must label itself.
+	for v := 0; v < g.NumVertices(); v++ {
+		l := labels[v]
+		if labels[l] != l {
+			t.Fatalf("label %d is not its own representative", l)
+		}
+		if l > uint64(v) {
+			t.Fatalf("vertex %d has label %d > its own id", v, l)
+		}
+	}
+}
+
+func TestGoldenPageRankInvariants(t *testing.T) {
+	g := goldenGraph()
+	gm := &GraphMem{G: g}
+	rank, diff := goldenPageRank(gm, 3)
+	if diff < 0 {
+		t.Fatalf("negative diff %v", diff)
+	}
+	sum := 0.0
+	minRank := math.Inf(1)
+	for _, r := range rank {
+		sum += r
+		if r < minRank {
+			minRank = r
+		}
+	}
+	// Every vertex keeps at least the teleport mass.
+	base := (1 - prDamping) / float64(g.NumVertices())
+	if minRank < base-1e-12 {
+		t.Fatalf("min rank %v below teleport mass %v", minRank, base)
+	}
+	// Total mass stays bounded by 1 (dangling vertices leak mass in
+	// this formulation, so <= 1 rather than == 1).
+	if sum > 1+1e-9 {
+		t.Fatalf("rank mass %v exceeds 1", sum)
+	}
+	// More iterations must not increase the per-iteration delta for a
+	// convergent damped walk.
+	_, diff5 := goldenPageRank(gm, 6)
+	if diff5 > diff*1.5 {
+		t.Fatalf("diff grew with iterations: %v -> %v", diff, diff5)
+	}
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	g := goldenGraph()
+	a, ra := goldenBFS(g, 3)
+	b, rb := goldenBFS(g, 3)
+	if ra != rb {
+		t.Fatal("round counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("golden BFS nondeterministic")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"pimsim/internal/graph"
+	"pimsim/internal/machine"
+	"pimsim/internal/memlayout"
+)
+
+// GraphMem is a CSR graph laid out in simulated memory: the edge-target
+// array lives in the store so edge-list traversal generates real
+// sequential loads, while per-vertex property arrays are allocated by
+// each workload.
+type GraphMem struct {
+	G        *graph.Graph
+	edgeBase uint64
+}
+
+// LayoutGraph places g's edge array (4 bytes per target) in the store.
+func LayoutGraph(st *memlayout.Store, g *graph.Graph) *GraphMem {
+	gm := &GraphMem{G: g}
+	n := g.NumEdges()
+	if n == 0 {
+		n = 1
+	}
+	gm.edgeBase = st.Alloc(n*4, 64)
+	for i, w := range g.Edges {
+		st.WriteU32(gm.edgeBase+uint64(i*4), uint32(w))
+	}
+	return gm
+}
+
+// EdgeAddr returns the simulated address of edge index e.
+func (gm *GraphMem) EdgeAddr(e int64) uint64 { return gm.edgeBase + uint64(e)*4 }
+
+// graphInput resolves a Params into the Table 3 graph for the size,
+// scaled down by Scale.
+func graphInput(p Params) graph.DatasetSpec {
+	if p.Graph != nil {
+		return p.Graph.Scaled(p.Scale)
+	}
+	var spec graph.DatasetSpec
+	switch p.Size {
+	case Small:
+		spec = graph.Table3Graphs["small"]
+	case Medium:
+		spec = graph.Table3Graphs["medium"]
+	default:
+		spec = graph.Table3Graphs["large"]
+	}
+	spec.Seed += p.Seed * 131
+	return spec.Scaled(p.Scale)
+}
+
+// graphCache memoizes generated graphs (and their symmetrized forms)
+// across runs: the experiment harness builds the same dataset for each
+// of the four system configurations, and generation dominates build time
+// at large scales. Graphs are immutable after construction, so sharing
+// is safe.
+var graphCache sync.Map
+
+func cachedGraph(spec graph.DatasetSpec, symmetrize bool) *graph.Graph {
+	key := fmt.Sprintf("%s/%d/%d/%d/%v", spec.Name, spec.Vertices, spec.Edges, spec.Seed, symmetrize)
+	if g, ok := graphCache.Load(key); ok {
+		return g.(*graph.Graph)
+	}
+	g := spec.Generate()
+	if symmetrize {
+		g = g.Symmetrize()
+	}
+	graphCache.Store(key, g)
+	return g
+}
+
+// buildGraph generates (with caching) and lays out the input graph.
+func buildGraph(m *machine.Machine, spec graph.DatasetSpec) *GraphMem {
+	return LayoutGraph(m.Store, cachedGraph(spec, false))
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pimsim/internal/cpu"
+	"pimsim/internal/graph"
+	"pimsim/internal/machine"
+	"pimsim/internal/memlayout"
+	"pimsim/internal/pim"
+)
+
+// sssp is parallel Bellman-Ford single-source shortest paths (§5.1):
+// each round every reached vertex relaxes its outgoing edges with
+// atomic-min PEIs; rounds run to the fixpoint depth computed by the
+// golden implementation. Edge weights are a deterministic function of
+// the edge so no extra weight array is needed.
+type sssp struct {
+	p  Params
+	gm *GraphMem
+
+	dist   memlayout.U64Array
+	src    int
+	golden []uint64
+	rounds int
+}
+
+func newSSSP(p Params) *sssp { return &sssp{p: p} }
+
+func (w *sssp) Name() string { return "sp" }
+
+// edgeWeight gives a deterministic weight in [1,16].
+func edgeWeight(v int, succ int32) uint64 {
+	return uint64((uint32(v)*31+uint32(succ)*17)%16) + 1
+}
+
+// goldenSSSP runs synchronous Bellman-Ford, returning distances and the
+// number of rounds to fixpoint.
+func goldenSSSP(g *graph.Graph, src int) ([]uint64, int) {
+	dist := make([]uint64, g.NumVertices())
+	for i := range dist {
+		dist[i] = infDist
+	}
+	dist[src] = 0
+	rounds := 0
+	for {
+		prev := append([]uint64(nil), dist...)
+		changed := false
+		for v := 0; v < g.NumVertices(); v++ {
+			if prev[v] == infDist {
+				continue
+			}
+			for _, succ := range g.Successors(v) {
+				if nd := prev[v] + edgeWeight(v, succ); nd < dist[succ] {
+					dist[succ] = nd
+					changed = true
+				}
+			}
+		}
+		rounds++
+		if !changed {
+			break
+		}
+	}
+	return dist, rounds
+}
+
+func (w *sssp) Streams(m *machine.Machine) []cpu.Stream {
+	w.gm = buildGraph(m, graphInput(w.p))
+	g := w.gm.G
+	n := g.NumVertices()
+	w.src = g.MaxDegreeVertex()
+	w.golden, w.rounds = goldenSSSP(g, w.src)
+
+	w.dist = m.Store.AllocU64Array(n)
+	w.dist.Fill(infDist)
+	w.dist.Set(w.src, 0)
+
+	barrier := cpu.NewBarrier(w.p.Threads)
+	streams := make([]cpu.Stream, w.p.Threads)
+	for t := 0; t < w.p.Threads; t++ {
+		lo, hi := PartitionRange(n, w.p.Threads, t)
+		budget := w.p.OpBudget
+		d := &roundDriver{
+			budget:  &budget,
+			rounds:  w.rounds,
+			barrier: barrier,
+			items:   hi - lo,
+			perItem: func(q *cpu.Queue, _, i int) {
+				v := lo + i
+				q.PushLoad(w.dist.Addr(v))
+				dv := w.dist.Get(v)
+				if dv == infDist {
+					return
+				}
+				off := w.gm.G.Offsets[v]
+				for j, succ := range w.gm.G.Successors(v) {
+					q.PushLoad(w.gm.EdgeAddr(off + int64(j)))
+					q.PushPEI(&pim.PEI{
+						Op:     pim.OpMin64,
+						Target: w.dist.Addr(int(succ)),
+						Input:  pim.U64Input(dv + edgeWeight(v, succ)),
+					})
+				}
+			},
+		}
+		streams[t] = d.stream()
+	}
+	return streams
+}
+
+func (w *sssp) Verify(m *machine.Machine) error {
+	for v := range w.golden {
+		if got := w.dist.Get(v); got != w.golden[v] {
+			return fmt.Errorf("sp: dist[%d] = %d, want %d", v, got, w.golden[v])
+		}
+	}
+	return nil
+}

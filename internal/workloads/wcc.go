@@ -1,0 +1,106 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pimsim/internal/cpu"
+	"pimsim/internal/graph"
+	"pimsim/internal/machine"
+	"pimsim/internal/memlayout"
+	"pimsim/internal/pim"
+)
+
+// wcc finds weakly connected components (§5.1) by label propagation on
+// the symmetrized graph: every vertex pushes its label to its neighbors
+// with atomic-min PEIs until labels stop changing; the component label
+// converges to the smallest vertex id in the component.
+type wcc struct {
+	p  Params
+	gm *GraphMem
+
+	label  memlayout.U64Array
+	golden []uint64
+	rounds int
+}
+
+func newWCC(p Params) *wcc { return &wcc{p: p} }
+
+func (w *wcc) Name() string { return "wcc" }
+
+// goldenWCC runs synchronous label propagation to fixpoint.
+func goldenWCC(g *graph.Graph) ([]uint64, int) {
+	n := g.NumVertices()
+	label := make([]uint64, n)
+	for v := range label {
+		label[v] = uint64(v)
+	}
+	rounds := 0
+	for {
+		prev := append([]uint64(nil), label...)
+		changed := false
+		for v := 0; v < n; v++ {
+			for _, succ := range g.Successors(v) {
+				if prev[v] < label[succ] {
+					label[succ] = prev[v]
+					changed = true
+				}
+			}
+		}
+		rounds++
+		if !changed {
+			break
+		}
+	}
+	return label, rounds
+}
+
+func (w *wcc) Streams(m *machine.Machine) []cpu.Stream {
+	spec := graphInput(w.p)
+	g := cachedGraph(spec, true)
+	w.gm = LayoutGraph(m.Store, g)
+	n := g.NumVertices()
+	w.golden, w.rounds = goldenWCC(g)
+
+	w.label = m.Store.AllocU64Array(n)
+	for v := 0; v < n; v++ {
+		w.label.Set(v, uint64(v))
+	}
+
+	barrier := cpu.NewBarrier(w.p.Threads)
+	streams := make([]cpu.Stream, w.p.Threads)
+	for t := 0; t < w.p.Threads; t++ {
+		lo, hi := PartitionRange(n, w.p.Threads, t)
+		budget := w.p.OpBudget
+		d := &roundDriver{
+			budget:  &budget,
+			rounds:  w.rounds,
+			barrier: barrier,
+			items:   hi - lo,
+			perItem: func(q *cpu.Queue, _, i int) {
+				v := lo + i
+				q.PushLoad(w.label.Addr(v))
+				lv := w.label.Get(v)
+				off := w.gm.G.Offsets[v]
+				for j, succ := range w.gm.G.Successors(v) {
+					q.PushLoad(w.gm.EdgeAddr(off + int64(j)))
+					q.PushPEI(&pim.PEI{
+						Op:     pim.OpMin64,
+						Target: w.label.Addr(int(succ)),
+						Input:  pim.U64Input(lv),
+					})
+				}
+			},
+		}
+		streams[t] = d.stream()
+	}
+	return streams
+}
+
+func (w *wcc) Verify(m *machine.Machine) error {
+	for v := range w.golden {
+		if got := w.label.Get(v); got != w.golden[v] {
+			return fmt.Errorf("wcc: label[%d] = %d, want %d", v, got, w.golden[v])
+		}
+	}
+	return nil
+}

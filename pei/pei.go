@@ -1,0 +1,259 @@
+// Package pei is the public API of the PEI simulator: a facade over the
+// internal packages that lets a user build a simulated machine, run the
+// paper's workloads or their own PEI programs on it, and reproduce the
+// paper's experiments.
+//
+// Quick start:
+//
+//	sys, _ := pei.NewSystem(pei.ScaledConfig(), pei.LocalityAware)
+//	counter := sys.Alloc(8, 8)
+//	prog := pei.NewProgram()
+//	for i := 0; i < 100; i++ {
+//		prog.AtomicAdd(counter, 1)
+//	}
+//	res, _ := sys.Run(prog)
+//	fmt.Println(res.Cycles, sys.ReadU64(counter))
+package pei
+
+import (
+	"fmt"
+	"io"
+
+	"pimsim/internal/config"
+	"pimsim/internal/cpu"
+	"pimsim/internal/harness"
+	"pimsim/internal/machine"
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+// Config describes the simulated machine; see the fields of
+// internal/config.Config (re-exported verbatim).
+type Config = config.Config
+
+// Mode selects where PEIs may execute (§7's system configurations).
+type Mode = pim.Mode
+
+// The four system configurations of the paper's evaluation.
+const (
+	HostOnly      = pim.HostOnly
+	PIMOnly       = pim.PIMOnly
+	LocalityAware = pim.LocalityAware
+	IdealHost     = pim.IdealHost
+)
+
+// Result summarizes a run (cycles, PEI steering, off-chip traffic,
+// energy).
+type Result = machine.Result
+
+// Stream is a per-core op stream.
+type Stream = cpu.Stream
+
+// BaselineConfig returns the paper's Table 2 machine; ScaledConfig a
+// laptop-scale variant with proportionally smaller caches.
+func BaselineConfig() *Config { return config.Baseline() }
+func ScaledConfig() *Config   { return config.Scaled() }
+
+// LoadConfig reads a JSON config layered over the baseline.
+func LoadConfig(path string) (*Config, error) { return config.LoadJSON(path) }
+
+// System is a simulated machine ready to run streams.
+type System struct {
+	// M exposes the underlying machine for advanced use (stats registry,
+	// PMU, hierarchy).
+	M *machine.Machine
+}
+
+// NewSystem builds a machine for cfg in the given mode.
+func NewSystem(cfg *Config, mode Mode) (*System, error) {
+	m, err := machine.New(cfg, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &System{M: m}, nil
+}
+
+// Alloc reserves n bytes of simulated physical memory (align must be a
+// power of two) and returns its address.
+func (s *System) Alloc(n int, align uint64) uint64 { return s.M.Store.Alloc(n, align) }
+
+// ReadU64/WriteU64 and ReadF64/WriteF64 access simulated memory
+// functionally.
+func (s *System) ReadU64(a uint64) uint64      { return s.M.Store.ReadU64(a) }
+func (s *System) WriteU64(a uint64, v uint64)  { s.M.Store.WriteU64(a, v) }
+func (s *System) ReadF64(a uint64) float64     { return s.M.Store.ReadF64(a) }
+func (s *System) WriteF64(a uint64, v float64) { s.M.Store.WriteF64(a, v) }
+
+// Run executes the given streams, one per core, to completion.
+func (s *System) Run(streams ...Stream) (Result, error) {
+	return s.M.Run(streams)
+}
+
+// Summary returns a one-line steering summary.
+func (s *System) Summary() string { return s.M.PMU.Summary() }
+
+// DumpStats writes all counters.
+func (s *System) DumpStats(w io.Writer) { s.M.Reg.Dump(w) }
+
+// Program is a convenience builder for hand-written PEI streams: it
+// records operations and plays them back as a Stream.
+type Program struct {
+	q cpu.Queue
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program { return &Program{} }
+
+// Load and Store emit normal memory accesses.
+func (p *Program) Load(a uint64)  { p.q.PushLoad(a) }
+func (p *Program) Store(a uint64) { p.q.PushStore(a) }
+
+// Compute emits a run of non-memory work costing the given cycles.
+func (p *Program) Compute(cycles int64) { p.q.PushCompute(cycles) }
+
+// AtomicAdd emits an 8-byte PIM-enabled atomic increment repeated delta
+// times when delta is small, or a float add for general deltas — for
+// exact integer semantics use AtomicInc or AtomicMin.
+func (p *Program) AtomicAdd(target uint64, delta float64) {
+	p.q.PushPEI(&pim.PEI{Op: pim.OpFloatAdd, Target: target, Input: pim.F64Input(delta)})
+}
+
+// AtomicInc emits the 8-byte integer increment PEI.
+func (p *Program) AtomicInc(target uint64) {
+	p.q.PushPEI(&pim.PEI{Op: pim.OpInc64, Target: target})
+}
+
+// AtomicMin emits the 8-byte integer min PEI.
+func (p *Program) AtomicMin(target uint64, v uint64) {
+	p.q.PushPEI(&pim.PEI{Op: pim.OpMin64, Target: target, Input: pim.U64Input(v)})
+}
+
+// PEI emits an arbitrary PIM-enabled instruction.
+func (p *Program) PEI(op pim.OpKind, target uint64, input []byte, done func(output []byte)) {
+	pe := &pim.PEI{Op: op, Target: target, Input: input}
+	if done != nil {
+		pe.Done = func() { done(pe.Output) }
+	}
+	p.q.PushPEI(pe)
+}
+
+// Fence emits a pfence.
+func (p *Program) Fence() { p.q.PushFence() }
+
+// Next implements Stream.
+func (p *Program) Next() (cpu.Op, bool) { return p.q.Next() }
+
+// Workload names and sizes (re-exported).
+var WorkloadNames = workloads.Names
+
+type Size = workloads.Size
+
+const (
+	Small  = workloads.Small
+	Medium = workloads.Medium
+	Large  = workloads.Large
+)
+
+// WorkloadParams configures a benchmark workload.
+type WorkloadParams = workloads.Params
+
+// RunWorkload builds a machine, runs one of the paper's ten workloads on
+// it, optionally verifies functional results, and returns the result.
+func RunWorkload(cfg *Config, mode Mode, name string, p WorkloadParams, verify bool) (Result, error) {
+	w, err := workloads.New(name, p)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := machine.New(cfg, mode)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := m.Run(w.Streams(m))
+	if err != nil {
+		return Result{}, err
+	}
+	if verify {
+		if p.OpBudget > 0 {
+			return res, fmt.Errorf("pei: cannot verify a budget-truncated run")
+		}
+		if err := w.Verify(m); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// ReproduceOptions configures the experiment harness.
+type ReproduceOptions = harness.Options
+
+// DefaultReproduceOptions returns laptop-scale experiment options.
+func DefaultReproduceOptions() ReproduceOptions { return harness.Default() }
+
+// Reproduce runs one named experiment ("fig2", "fig6", "fig7", "fig8",
+// "fig9", "fig10", "fig11a", "fig11b", "sec7.6", "fig12", "ablations",
+// or "all") and renders its tables to w.
+func Reproduce(name string, opts ReproduceOptions, w io.Writer) error {
+	return reproduceOn(harness.NewRunner(opts), name, opts, w)
+}
+
+func reproduceOn(r *harness.Runner, name string, opts ReproduceOptions, w io.Writer) error {
+	render := func(t *harness.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+	bySize := func(f func(workloads.Size) (*harness.Table, error)) error {
+		for _, size := range []workloads.Size{workloads.Small, workloads.Medium, workloads.Large} {
+			if err := render(f(size)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch name {
+	case "fig2":
+		return render(r.Fig2())
+	case "fig6":
+		return bySize(r.Fig6)
+	case "fig7":
+		return bySize(r.Fig7)
+	case "fig8":
+		return render(r.Fig8())
+	case "fig9":
+		return render(r.Fig9())
+	case "fig10":
+		return render(r.Fig10())
+	case "fig11a":
+		return render(r.Fig11a())
+	case "fig11b":
+		return render(r.Fig11b())
+	case "sec7.6", "sec76":
+		return render(r.Sec76())
+	case "ablations":
+		for _, f := range []func() (*harness.Table, error){
+			r.AblationIgnoreBit, r.AblationPartialTagWidth,
+			r.AblationDirectorySize, r.AblationDispatchWindow,
+			r.AblationInterleave, r.AblationPrefetcher,
+			r.ComparisonHMC2,
+		} {
+			if err := render(f()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "fig12":
+		return bySize(r.Fig12)
+	case "all":
+		// One runner for all experiments: figures 6, 7, 10, and 12 share
+		// simulation cells through its cache.
+		for _, exp := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "sec7.6", "fig12", "ablations"} {
+			if err := reproduceOn(r, exp, opts, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("pei: unknown experiment %q", name)
+}

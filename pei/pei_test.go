@@ -1,0 +1,113 @@
+package pei
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pimsim/internal/pim"
+)
+
+func TestSystemProgramRoundTrip(t *testing.T) {
+	sys, err := NewSystem(ScaledConfig(), LocalityAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.Alloc(8, 8)
+	prog := NewProgram()
+	for i := 0; i < 50; i++ {
+		prog.AtomicInc(counter)
+	}
+	prog.Fence()
+	res, err := sys.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadU64(counter); got != 50 {
+		t.Fatalf("counter = %d, want 50", got)
+	}
+	if res.Cycles <= 0 || res.PEIs != 50 {
+		t.Fatalf("result %+v", res)
+	}
+	if !strings.Contains(sys.Summary(), "PEIs") {
+		t.Fatal("summary missing")
+	}
+}
+
+func TestProgramAllOps(t *testing.T) {
+	sys, err := NewSystem(ScaledConfig(), HostOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Alloc(64, 64)
+	sys.WriteF64(a, 1.0)
+	sys.WriteU64(a+8, 100)
+	prog := NewProgram()
+	prog.Load(a)
+	prog.Compute(3)
+	prog.AtomicAdd(a, 2.5)
+	prog.AtomicMin(a+8, 7)
+	prog.Store(a + 16)
+	var probed []byte
+	prog.PEI(pim.OpHashProbe, a, pim.U64Input(999), func(out []byte) { probed = out })
+	prog.Fence()
+	if _, err := sys.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.ReadF64(a); got != 3.5 {
+		t.Fatalf("fadd result %v", got)
+	}
+	if got := sys.ReadU64(a + 8); got != 7 {
+		t.Fatalf("min result %d", got)
+	}
+	if len(probed) != 9 {
+		t.Fatalf("probe output %v", probed)
+	}
+}
+
+func TestRunWorkloadWithVerify(t *testing.T) {
+	p := WorkloadParams{Threads: 2, Size: Small, Scale: 1024}
+	res, err := RunWorkload(ScaledConfig(), LocalityAware, "bfs", p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEIs == 0 {
+		t.Fatal("no PEIs")
+	}
+}
+
+func TestRunWorkloadVerifyRejectsBudget(t *testing.T) {
+	p := WorkloadParams{Threads: 2, Size: Small, Scale: 1024, OpBudget: 10}
+	if _, err := RunWorkload(ScaledConfig(), HostOnly, "atf", p, true); err == nil {
+		t.Fatal("expected error verifying a truncated run")
+	}
+}
+
+func TestReproduceUnknown(t *testing.T) {
+	if err := Reproduce("fig99", DefaultReproduceOptions(), &bytes.Buffer{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestReproduceFig10Tiny(t *testing.T) {
+	opts := DefaultReproduceOptions()
+	opts.Scale = 1024
+	opts.OpBudget = 2000
+	opts.Workloads = []string{"sc"}
+	var buf bytes.Buffer
+	if err := Reproduce("fig10", opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Fatalf("output missing table: %s", buf.String())
+	}
+}
+
+func TestBaselineAndScaledConfigs(t *testing.T) {
+	if err := BaselineConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScaledConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
