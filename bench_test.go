@@ -13,6 +13,7 @@
 package pimsim_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -45,6 +46,9 @@ func benchOptions() harness.Options {
 	o.Cfg = cfg
 	return o
 }
+
+// bctx is the background context shared by the benchmarks.
+var bctx = context.Background()
 
 var printOnce sync.Map
 
@@ -82,7 +86,7 @@ func BenchmarkFig2(b *testing.B) {
 		o.Scale = 4096
 		o.OpBudget = 2_000
 		r := harness.NewRunner(o)
-		t, err := r.Fig2()
+		t, err := r.Fig2(bctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,25 +96,25 @@ func BenchmarkFig2(b *testing.B) {
 
 func BenchmarkFig6Small(b *testing.B) {
 	benchFigure(b, "fig6s", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig6(workloads.Small))
+		return one(r.Fig6(bctx, workloads.Small))
 	})
 }
 
 func BenchmarkFig6Medium(b *testing.B) {
 	benchFigure(b, "fig6m", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig6(workloads.Medium))
+		return one(r.Fig6(bctx, workloads.Medium))
 	})
 }
 
 func BenchmarkFig6Large(b *testing.B) {
 	benchFigure(b, "fig6l", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig6(workloads.Large))
+		return one(r.Fig6(bctx, workloads.Large))
 	})
 }
 
 func BenchmarkFig7(b *testing.B) {
 	benchFigure(b, "fig7", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig7(workloads.Large))
+		return one(r.Fig7(bctx, workloads.Large))
 	})
 }
 
@@ -120,7 +124,7 @@ func BenchmarkFig8(b *testing.B) {
 		o.Scale = 4096
 		o.OpBudget = 2_000
 		r := harness.NewRunner(o)
-		t, err := r.Fig8()
+		t, err := r.Fig8(bctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,37 +134,37 @@ func BenchmarkFig8(b *testing.B) {
 
 func BenchmarkFig9(b *testing.B) {
 	benchFigure(b, "fig9", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig9())
+		return one(r.Fig9(bctx))
 	})
 }
 
 func BenchmarkFig10(b *testing.B) {
 	benchFigure(b, "fig10", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig10())
+		return one(r.Fig10(bctx))
 	})
 }
 
 func BenchmarkFig11a(b *testing.B) {
 	benchFigure(b, "fig11a", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig11a())
+		return one(r.Fig11a(bctx))
 	})
 }
 
 func BenchmarkFig11b(b *testing.B) {
 	benchFigure(b, "fig11b", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig11b())
+		return one(r.Fig11b(bctx))
 	})
 }
 
 func BenchmarkSec76(b *testing.B) {
 	benchFigure(b, "sec76", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Sec76())
+		return one(r.Sec76(bctx))
 	})
 }
 
 func BenchmarkFig12(b *testing.B) {
 	benchFigure(b, "fig12", func(r *harness.Runner) ([]*harness.Table, error) {
-		return one(r.Fig12(workloads.Small))
+		return one(r.Fig12(bctx, workloads.Small))
 	})
 }
 
@@ -250,13 +254,13 @@ func BenchmarkPageRankSimulation(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	benchFigure(b, "ablations", func(r *harness.Runner) ([]*harness.Table, error) {
 		var tables []*harness.Table
-		for _, f := range []func() (*harness.Table, error){
+		for _, f := range []func(context.Context) (*harness.Table, error){
 			r.AblationIgnoreBit, r.AblationPartialTagWidth,
 			r.AblationDirectorySize, r.AblationDispatchWindow,
 			r.AblationInterleave, r.AblationPrefetcher,
 			r.ComparisonHMC2,
 		} {
-			t, err := f()
+			t, err := f(bctx)
 			if err != nil {
 				return nil, err
 			}

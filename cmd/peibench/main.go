@@ -6,13 +6,21 @@
 //	peibench -exp all -out results.txt
 //	peibench -exp fig9 -pairs 200     # the paper's full mix count
 //	peibench -exp fig6 -full -scale 1 # paper-scale machine and inputs (slow)
+//	peibench -exp all -parallel 8     # eight concurrent simulation cells
+//
+// Experiment cells run concurrently (-parallel, default GOMAXPROCS);
+// tables are byte-identical at any parallelism. Ctrl-C cancels the sweep
+// cleanly mid-run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -21,21 +29,31 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig6|fig7|fig8|fig9|fig10|fig11a|fig11b|sec7.6|fig12|ablations|all")
-		scale   = flag.Int("scale", 64, "input scale divisor (1 = paper-size inputs)")
-		budget  = flag.Int64("budget", 60000, "per-thread op budget (0 = run to completion)")
-		pairs   = flag.Int("pairs", 40, "multiprogrammed mixes for fig9 (paper: 200)")
-		full    = flag.Bool("full", false, "use the full Table 2 machine")
-		only    = flag.String("workloads", "", "comma-separated workload subset (default all)")
-		out     = flag.String("out", "", "write tables to this file as well as stdout")
-		verbose = flag.Bool("v", false, "log per-run progress")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(pei.Experiments(), "|"))
+		scale    = flag.Int("scale", 64, "input scale divisor (1 = paper-size inputs)")
+		budget   = flag.Int64("budget", 60000, "per-thread op budget (0 = run to completion)")
+		pairs    = flag.Int("pairs", 40, "multiprogrammed mixes for fig9 (paper: 200)")
+		full     = flag.Bool("full", false, "use the full Table 2 machine")
+		only     = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		out      = flag.String("out", "", "write tables to this file as well as stdout")
+		parallel = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		verbose  = flag.Bool("v", false, "log per-run progress")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, name := range pei.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	opts := pei.DefaultReproduceOptions()
 	opts.Scale = *scale
 	opts.OpBudget = *budget
 	opts.Pairs = *pairs
+	opts.Parallelism = *parallel
 	if *full {
 		opts.Cfg = pei.BaselineConfig()
 	}
@@ -57,10 +75,17 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Fprintf(w, "PEI reproduction — experiment %s (scale 1/%d, budget %d ops/thread)\n\n",
 		*exp, *scale, *budget)
 	start := time.Now()
-	if err := pei.Reproduce(*exp, opts, w); err != nil {
+	if err := pei.Reproduce(ctx, *exp, opts, w); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "peibench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "peibench:", err)
 		os.Exit(1)
 	}

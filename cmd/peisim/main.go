@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -74,8 +76,12 @@ func main() {
 		nThreads = cfg.Cores
 	}
 
+	// Ctrl-C cancels the simulation cleanly mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	params := pei.WorkloadParams{Threads: nThreads, Size: size, Scale: *scale, OpBudget: *budget}
-	res, err := pei.RunWorkload(cfg, mode, *workload, params, *verify)
+	res, err := pei.RunWorkloadContext(ctx, cfg, mode, *workload, params, *verify)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,9 +1,11 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"pimsim/internal/config"
+	"pimsim/internal/machine"
 	"pimsim/internal/pim"
 	"pimsim/internal/workloads"
 )
@@ -14,20 +16,26 @@ import (
 // window. Each reports geometric-mean speedup over the default design
 // across the configured workloads (medium inputs, Locality-Aware).
 
-// ablate runs every workload under mutate and reports GM speedup vs the
-// unmutated design.
-func (r *Runner) ablate(size workloads.Size, mutate func(*config.Config)) (float64, error) {
-	var sps []float64
-	for _, name := range r.Opts.Workloads {
-		base, err := r.RunCell(Cell{name, size, pim.LocalityAware})
+// ablate runs every workload under mutate (in parallel, through the
+// pool) and reports GM speedup vs the unmutated design.
+func (r *Runner) ablate(ctx context.Context, size workloads.Size, mutate func(*config.Config)) (float64, error) {
+	names := r.Opts.Workloads
+	sps := make([]float64, len(names))
+	err := r.forEach(ctx, len(names), func(ctx context.Context, i int) error {
+		name := names[i]
+		base, err := r.RunCell(ctx, Cell{name, size, pim.LocalityAware})
 		if err != nil {
-			return 0, err
+			return err
 		}
-		res, err := r.runWorkload(name, r.params(size), pim.LocalityAware, mutate)
+		res, err := r.runWorkload(ctx, name, r.params(size), pim.LocalityAware, mutate)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		sps = append(sps, speedup(base, res))
+		sps[i] = speedup(base, res)
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return geomean(sps), nil
 }
@@ -35,13 +43,13 @@ func (r *Runner) ablate(size workloads.Size, mutate func(*config.Config)) (float
 // AblationIgnoreBit measures the locality monitor's ignore flag (§4.3):
 // disabling it makes the monitor too eager to call a once-reused block
 // "high locality".
-func (r *Runner) AblationIgnoreBit() (*Table, error) {
+func (r *Runner) AblationIgnoreBit(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: locality-monitor ignore bit (GM speedup vs default, medium inputs)",
 		Header: []string{"variant", "GM_speedup"},
 		Notes:  []string{"the paper adds the bit after observing first-hit promotions are too aggressive"},
 	}
-	g, err := r.ablate(workloads.Medium, func(c *config.Config) { c.UseIgnoreBit = false })
+	g, err := r.ablate(ctx, workloads.Medium, func(c *config.Config) { c.UseIgnoreBit = false })
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +62,7 @@ func (r *Runner) AblationIgnoreBit() (*Table, error) {
 // AblationPartialTagWidth sweeps the monitor's partial tag width. The
 // paper picks 10 bits; narrower tags alias more blocks together (false
 // "high locality" hits).
-func (r *Runner) AblationPartialTagWidth() (*Table, error) {
+func (r *Runner) AblationPartialTagWidth(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: locality-monitor partial tag width (GM speedup vs 10-bit default)",
 		Header: []string{"tag_bits", "GM_speedup"},
@@ -62,7 +70,7 @@ func (r *Runner) AblationPartialTagWidth() (*Table, error) {
 	}
 	for _, bits := range []uint{2, 4, 6, 10, 16} {
 		bits := bits
-		g, err := r.ablate(workloads.Medium, func(c *config.Config) { c.PartialTagBits = bits })
+		g, err := r.ablate(ctx, workloads.Medium, func(c *config.Config) { c.PartialTagBits = bits })
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +82,7 @@ func (r *Runner) AblationPartialTagWidth() (*Table, error) {
 // AblationDirectorySize sweeps the PIM directory entry count (default
 // 2048 in the paper's machine). Small directories over-serialize
 // distinct blocks that XOR-fold to the same entry.
-func (r *Runner) AblationDirectorySize() (*Table, error) {
+func (r *Runner) AblationDirectorySize(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: PIM directory entries (GM speedup vs default)",
 		Header: []string{"entries", "GM_speedup"},
@@ -83,7 +91,7 @@ func (r *Runner) AblationDirectorySize() (*Table, error) {
 	def := r.Opts.Cfg.DirectoryEntries
 	for _, n := range []int{8, 32, 128, def, 4 * def} {
 		n := n
-		g, err := r.ablate(workloads.Medium, func(c *config.Config) { c.DirectoryEntries = n })
+		g, err := r.ablate(ctx, workloads.Medium, func(c *config.Config) { c.DirectoryEntries = n })
 		if err != nil {
 			return nil, err
 		}
@@ -95,14 +103,14 @@ func (r *Runner) AblationDirectorySize() (*Table, error) {
 // AblationDispatchWindow sweeps balanced dispatch's halving period
 // (paper: 10 µs). Too short forgets traffic history; too long reacts
 // slowly to phase changes.
-func (r *Runner) AblationDispatchWindow() (*Table, error) {
+func (r *Runner) AblationDispatchWindow(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: balanced-dispatch averaging window (GM speedup vs no balanced dispatch, large inputs)",
 		Header: []string{"window_cycles", "GM_speedup"},
 	}
 	for _, win := range []int64{400, 4000, 40000, 400000} {
 		win := win
-		g, err := r.ablate(workloads.Large, func(c *config.Config) {
+		g, err := r.ablate(ctx, workloads.Large, func(c *config.Config) {
 			c.BalancedDispatch = true
 			c.DispatchWindowCyc = win
 		})
@@ -116,14 +124,14 @@ func (r *Runner) AblationDispatchWindow() (*Table, error) {
 
 // AblationInterleave sweeps the block-to-cube interleave granularity:
 // coarser interleaving trades vault parallelism for DRAM row locality.
-func (r *Runner) AblationInterleave() (*Table, error) {
+func (r *Runner) AblationInterleave(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: cube interleave granularity (GM speedup vs per-block default)",
 		Header: []string{"blocks_per_cube", "GM_speedup"},
 	}
 	for _, ilv := range []int{1, 4, 16, 64} {
 		ilv := ilv
-		g, err := r.ablate(workloads.Large, func(c *config.Config) { c.InterleaveBlocks = ilv })
+		g, err := r.ablate(ctx, workloads.Large, func(c *config.Config) { c.InterleaveBlocks = ilv })
 		if err != nil {
 			return nil, err
 		}
@@ -135,14 +143,14 @@ func (r *Runner) AblationInterleave() (*Table, error) {
 // AblationPrefetcher gives the host a next-N-line L2 prefetcher and
 // measures how much it narrows the PIM advantage (large inputs,
 // Locality-Aware; the PEI hardware is unchanged).
-func (r *Runner) AblationPrefetcher() (*Table, error) {
+func (r *Runner) AblationPrefetcher(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: host L2 next-N-line prefetcher (GM speedup vs no prefetcher, large inputs)",
 		Header: []string{"depth", "GM_speedup"},
 	}
 	for _, depth := range []int{0, 1, 2, 4} {
 		depth := depth
-		g, err := r.ablate(workloads.Large, func(c *config.Config) { c.PrefetchDepth = depth })
+		g, err := r.ablate(ctx, workloads.Large, func(c *config.Config) { c.PrefetchDepth = depth })
 		if err != nil {
 			return nil, err
 		}
@@ -155,32 +163,44 @@ func (r *Runner) AblationPrefetcher() (*Table, error) {
 // HMC 2.0-style native atomics (footnote 1): always-in-memory execution
 // with no PIM directory and no cache interoperability. The delta is the
 // paper's contribution isolated from the raw in-memory-compute benefit.
-func (r *Runner) ComparisonHMC2() (*Table, error) {
+func (r *Runner) ComparisonHMC2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Comparison: HMC 2.0-style atomics vs PEI (speedup over Host-Only, large inputs)",
 		Header: []string{"workload", "HMC2-atomics", "PIM-Only(PEI)", "Locality-Aware(PEI)"},
 		Notes:  []string{"HMC2 atomics skip the directory and coherence: fast but fence-less and uncacheable"},
 	}
-	var h2s, ps, ls []float64
-	for _, name := range r.Opts.Workloads {
-		host, err := r.RunCell(Cell{name, workloads.Large, pim.HostOnly})
+	names := r.Opts.Workloads
+	type res struct{ host, h2, mem, la machine.Result }
+	out := make([]res, len(names))
+	err := r.forEach(ctx, len(names), func(ctx context.Context, i int) error {
+		name := names[i]
+		host, err := r.RunCell(ctx, Cell{name, workloads.Large, pim.HostOnly})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		h2, err := r.runWorkload(name, r.params(workloads.Large), pim.PIMOnly,
+		h2, err := r.runWorkload(ctx, name, r.params(workloads.Large), pim.PIMOnly,
 			func(c *config.Config) { c.HMC2AtomicsMode = true })
 		if err != nil {
-			return nil, err
+			return err
 		}
-		p, err := r.RunCell(Cell{name, workloads.Large, pim.PIMOnly})
+		p, err := r.RunCell(ctx, Cell{name, workloads.Large, pim.PIMOnly})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		l, err := r.RunCell(Cell{name, workloads.Large, pim.LocalityAware})
+		l, err := r.RunCell(ctx, Cell{name, workloads.Large, pim.LocalityAware})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s2, sp, sl := speedup(host, h2), speedup(host, p), speedup(host, l)
+		out[i] = res{host, h2, p, l}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var h2s, ps, ls []float64
+	for i, name := range names {
+		c := out[i]
+		s2, sp, sl := speedup(c.host, c.h2), speedup(c.host, c.mem), speedup(c.host, c.la)
 		h2s, ps, ls = append(h2s, s2), append(ps, sp), append(ls, sl)
 		t.Rows = append(t.Rows, []string{name, fmtF(s2), fmtF(sp), fmtF(sl)})
 	}

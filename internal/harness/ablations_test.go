@@ -12,7 +12,7 @@ func ablationRunner() *Runner {
 }
 
 func TestAblationIgnoreBit(t *testing.T) {
-	tb, err := ablationRunner().AblationIgnoreBit()
+	tb, err := ablationRunner().AblationIgnoreBit(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +26,7 @@ func TestAblationIgnoreBit(t *testing.T) {
 }
 
 func TestAblationPartialTagWidth(t *testing.T) {
-	tb, err := ablationRunner().AblationPartialTagWidth()
+	tb, err := ablationRunner().AblationPartialTagWidth(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestAblationPartialTagWidth(t *testing.T) {
 }
 
 func TestAblationDirectorySize(t *testing.T) {
-	tb, err := ablationRunner().AblationDirectorySize()
+	tb, err := ablationRunner().AblationDirectorySize(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestAblationDirectorySize(t *testing.T) {
 }
 
 func TestAblationDispatchWindow(t *testing.T) {
-	tb, err := ablationRunner().AblationDispatchWindow()
+	tb, err := ablationRunner().AblationDispatchWindow(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestAblationDispatchWindow(t *testing.T) {
 }
 
 func TestAblationInterleave(t *testing.T) {
-	tb, err := ablationRunner().AblationInterleave()
+	tb, err := ablationRunner().AblationInterleave(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestAblationInterleave(t *testing.T) {
 }
 
 func TestComparisonHMC2(t *testing.T) {
-	tb, err := ablationRunner().ComparisonHMC2()
+	tb, err := ablationRunner().ComparisonHMC2(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -12,6 +13,11 @@ import (
 	"pimsim/internal/workloads"
 )
 
+// Every figure fans its independent simulations out through the runner's
+// worker pool (forEach) and collects them into index-addressed slices,
+// then assembles rows serially in declared order — so rendered tables
+// are byte-identical at any Options.Parallelism.
+
 // graphSweep lists the nine Figure 2/8 graphs, scaled by the runner's
 // scale factor.
 func (r *Runner) graphSweep() []graph.DatasetSpec {
@@ -20,7 +26,7 @@ func (r *Runner) graphSweep() []graph.DatasetSpec {
 
 // Fig2 reproduces Figure 2: PageRank speedup of always-in-memory atomic
 // add (PIM-Only) over the idealized host, across the nine graphs.
-func (r *Runner) Fig2() (*Table, error) {
+func (r *Runner) Fig2(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 2: PageRank with in-memory atomic add (speedup over Ideal-Host)",
 		Header: []string{"graph", "host_cycles", "pim_cycles", "speedup"},
@@ -29,59 +35,97 @@ func (r *Runner) Fig2() (*Table, error) {
 			fmt.Sprintf("graphs are R-MAT stand-ins scaled 1/%d (DESIGN.md §3)", r.Opts.Scale),
 		},
 	}
-	for _, spec := range r.graphSweep() {
-		r.Opts.logf("fig2: %s", spec.Name)
-		host, err := r.runGraphWorkload("pr", spec, pim.IdealHost)
+	specs := r.graphSweep()
+	type pair struct{ host, mem machine.Result }
+	out := make([]pair, len(specs))
+	err := r.forEach(ctx, len(specs), func(ctx context.Context, i int) error {
+		spec := specs[i]
+		r.logf("fig2: %s", spec.Name)
+		host, err := r.runGraphWorkload(ctx, "pr", spec, pim.IdealHost)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mem, err := r.runGraphWorkload("pr", spec, pim.PIMOnly)
+		mem, err := r.runGraphWorkload(ctx, "pr", spec, pim.PIMOnly)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = pair{host, mem}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
 		t.Rows = append(t.Rows, []string{
 			spec.Name,
-			fmt.Sprint(host.Cycles),
-			fmt.Sprint(mem.Cycles),
-			fmtF(speedup(host, mem)),
+			fmt.Sprint(out[i].host.Cycles),
+			fmt.Sprint(out[i].mem.Cycles),
+			fmtF(speedup(out[i].host, out[i].mem)),
 		})
 	}
 	return t, nil
 }
 
+// fourModes holds one workload's results under the four system
+// configurations of §7.
+type fourModes struct {
+	ideal, host, mem, la machine.Result
+}
+
+// runFourModes simulates every configured workload under all four modes
+// at the given size, fanning out through the pool. Figures 6, 7, and 12
+// share these cells via the runner's cache.
+func (r *Runner) runFourModes(ctx context.Context, tag string, size workloads.Size) ([]fourModes, error) {
+	out := make([]fourModes, len(r.Opts.Workloads))
+	err := r.forEach(ctx, len(out), func(ctx context.Context, i int) error {
+		name := r.Opts.Workloads[i]
+		r.logf("%s/%s: %s", tag, size, name)
+		ideal, err := r.RunCell(ctx, Cell{name, size, pim.IdealHost})
+		if err != nil {
+			return err
+		}
+		h, err := r.RunCell(ctx, Cell{name, size, pim.HostOnly})
+		if err != nil {
+			return err
+		}
+		p, err := r.RunCell(ctx, Cell{name, size, pim.PIMOnly})
+		if err != nil {
+			return err
+		}
+		l, err := r.RunCell(ctx, Cell{name, size, pim.LocalityAware})
+		if err != nil {
+			return err
+		}
+		out[i] = fourModes{ideal, h, p, l}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Fig6 reproduces Figure 6: speedups of Host-Only, PIM-Only, and
 // Locality-Aware over Ideal-Host for the ten workloads under one input
 // size. The paper's sub-figures (a/b/c) are the three sizes.
-func (r *Runner) Fig6(size workloads.Size) (*Table, error) {
+func (r *Runner) Fig6(ctx context.Context, size workloads.Size) (*Table, error) {
 	t := &Table{
 		Title:     fmt.Sprintf("Figure 6 (%s inputs): speedup over Ideal-Host", size),
 		Header:    []string{"workload", "Host-Only", "PIM-Only", "Locality-Aware", "PIM%"},
 		BarColumn: 3,
 	}
+	cells, err := r.runFourModes(ctx, "fig6", size)
+	if err != nil {
+		return nil, err
+	}
 	var host, mem, la []float64
-	for _, name := range r.Opts.Workloads {
-		r.Opts.logf("fig6/%s: %s", size, name)
-		ideal, err := r.RunCell(Cell{name, size, pim.IdealHost})
-		if err != nil {
-			return nil, err
-		}
-		h, err := r.RunCell(Cell{name, size, pim.HostOnly})
-		if err != nil {
-			return nil, err
-		}
-		p, err := r.RunCell(Cell{name, size, pim.PIMOnly})
-		if err != nil {
-			return nil, err
-		}
-		l, err := r.RunCell(Cell{name, size, pim.LocalityAware})
-		if err != nil {
-			return nil, err
-		}
-		sh, sp, sl := speedup(ideal, h), speedup(ideal, p), speedup(ideal, l)
+	for i, name := range r.Opts.Workloads {
+		c := cells[i]
+		sh, sp, sl := speedup(c.ideal, c.host), speedup(c.ideal, c.mem), speedup(c.ideal, c.la)
 		host = append(host, sh)
 		mem = append(mem, sp)
 		la = append(la, sl)
-		t.Rows = append(t.Rows, []string{name, fmtF(sh), fmtF(sp), fmtF(sl), fmtPct(l.PIMFraction())})
+		t.Rows = append(t.Rows, []string{name, fmtF(sh), fmtF(sp), fmtF(sl), fmtPct(c.la.PIMFraction())})
 	}
 	t.Rows = append(t.Rows, []string{"GM", fmtF(geomean(host)), fmtF(geomean(mem)), fmtF(geomean(la)), ""})
 	return t, nil
@@ -89,7 +133,7 @@ func (r *Runner) Fig6(size workloads.Size) (*Table, error) {
 
 // Fig7 reproduces Figure 7: total off-chip transfer of Host-Only and
 // PIM-Only normalized to Ideal-Host.
-func (r *Runner) Fig7(size workloads.Size) (*Table, error) {
+func (r *Runner) Fig7(ctx context.Context, size workloads.Size) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 7 (%s inputs): off-chip transfer normalized to Ideal-Host", size),
 		Header: []string{"workload", "Host-Only", "PIM-Only", "Locality-Aware"},
@@ -101,24 +145,13 @@ func (r *Runner) Fig7(size workloads.Size) (*Table, error) {
 		}
 		return float64(x.OffchipBytes) / float64(base.OffchipBytes)
 	}
-	for _, name := range r.Opts.Workloads {
-		ideal, err := r.RunCell(Cell{name, size, pim.IdealHost})
-		if err != nil {
-			return nil, err
-		}
-		h, err := r.RunCell(Cell{name, size, pim.HostOnly})
-		if err != nil {
-			return nil, err
-		}
-		p, err := r.RunCell(Cell{name, size, pim.PIMOnly})
-		if err != nil {
-			return nil, err
-		}
-		l, err := r.RunCell(Cell{name, size, pim.LocalityAware})
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{name, fmtF(norm(ideal, h)), fmtF(norm(ideal, p)), fmtF(norm(ideal, l))})
+	cells, err := r.runFourModes(ctx, "fig7", size)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range r.Opts.Workloads {
+		c := cells[i]
+		t.Rows = append(t.Rows, []string{name, fmtF(norm(c.ideal, c.host)), fmtF(norm(c.ideal, c.mem)), fmtF(norm(c.ideal, c.la))})
 	}
 	return t, nil
 }
@@ -126,7 +159,7 @@ func (r *Runner) Fig7(size workloads.Size) (*Table, error) {
 // Fig8 reproduces Figure 8: PageRank across the nine graphs under
 // Host-Only, PIM-Only, and Locality-Aware (normalized to Host-Only),
 // with the fraction of PEIs executed memory-side.
-func (r *Runner) Fig8() (*Table, error) {
+func (r *Runner) Fig8(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:     "Figure 8: PageRank vs graph size (speedup over Host-Only)",
 		Header:    []string{"graph", "PIM-Only", "Locality-Aware", "PIM%"},
@@ -135,25 +168,36 @@ func (r *Runner) Fig8() (*Table, error) {
 			"paper: PIM% grows from 0.3% (soc-Slashdot0811) to 87% (cit-Patents)",
 		},
 	}
-	for _, spec := range r.graphSweep() {
-		r.Opts.logf("fig8: %s", spec.Name)
-		host, err := r.runGraphWorkload("pr", spec, pim.HostOnly)
+	specs := r.graphSweep()
+	type triple struct{ host, mem, la machine.Result }
+	out := make([]triple, len(specs))
+	err := r.forEach(ctx, len(specs), func(ctx context.Context, i int) error {
+		spec := specs[i]
+		r.logf("fig8: %s", spec.Name)
+		host, err := r.runGraphWorkload(ctx, "pr", spec, pim.HostOnly)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mem, err := r.runGraphWorkload("pr", spec, pim.PIMOnly)
+		mem, err := r.runGraphWorkload(ctx, "pr", spec, pim.PIMOnly)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		la, err := r.runGraphWorkload("pr", spec, pim.LocalityAware)
+		la, err := r.runGraphWorkload(ctx, "pr", spec, pim.LocalityAware)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = triple{host, mem, la}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
 		t.Rows = append(t.Rows, []string{
 			spec.Name,
-			fmtF(speedup(host, mem)),
-			fmtF(speedup(host, la)),
-			fmtPct(la.PIMFraction()),
+			fmtF(speedup(out[i].host, out[i].mem)),
+			fmtF(speedup(out[i].host, out[i].la)),
+			fmtPct(out[i].la.PIMFraction()),
 		})
 	}
 	return t, nil
@@ -163,45 +207,64 @@ func (r *Runner) Fig8() (*Table, error) {
 // application on half the cores, measuring IPC-sum speedup of
 // Locality-Aware and PIM-Only over Host-Only. Rows are sorted by
 // Locality-Aware speedup, matching the paper's sorted curves.
-func (r *Runner) Fig9() (*Table, error) {
+func (r *Runner) Fig9(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 9: %d multiprogrammed pairs (IPC sum over Host-Only, sorted)", r.Opts.Pairs),
 		Header: []string{"pair", "mix", "PIM-Only", "Locality-Aware"},
 		Notes:  []string{"paper: Locality-Aware beats both baselines for the overwhelming majority"},
 	}
 	sizes := []workloads.Size{workloads.Small, workloads.Medium, workloads.Large}
+	// The mixes are drawn serially before fan-out so the RNG sequence —
+	// and therefore the mix list — is identical at any parallelism.
 	rng := rand.New(rand.NewSource(12345))
+	type mixSpec struct {
+		w1, w2 string
+		s1, s2 workloads.Size
+		mix    string
+	}
+	mixes := make([]mixSpec, r.Opts.Pairs)
+	for p := range mixes {
+		m := mixSpec{
+			w1: r.Opts.Workloads[rng.Intn(len(r.Opts.Workloads))],
+			w2: r.Opts.Workloads[rng.Intn(len(r.Opts.Workloads))],
+		}
+		// Preserve the seed's historical draw order: w1, w2, s1, s2.
+		m.s1 = sizes[rng.Intn(len(sizes))]
+		m.s2 = sizes[rng.Intn(len(sizes))]
+		m.mix = fmt.Sprintf("%s-%s+%s-%s", m.w1, m.s1, m.w2, m.s2)
+		mixes[p] = m
+	}
 	type row struct {
 		mix  string
 		pimS float64
 		laS  float64
 	}
-	var rows []row
-	for p := 0; p < r.Opts.Pairs; p++ {
-		w1 := r.Opts.Workloads[rng.Intn(len(r.Opts.Workloads))]
-		w2 := r.Opts.Workloads[rng.Intn(len(r.Opts.Workloads))]
-		s1 := sizes[rng.Intn(len(sizes))]
-		s2 := sizes[rng.Intn(len(sizes))]
-		mix := fmt.Sprintf("%s-%s+%s-%s", w1, s1, w2, s2)
-		r.Opts.logf("fig9 %d/%d: %s", p+1, r.Opts.Pairs, mix)
+	rows := make([]row, len(mixes))
+	err := r.forEach(ctx, len(mixes), func(ctx context.Context, p int) error {
+		m := mixes[p]
+		r.logf("fig9 %d/%d: %s", p+1, r.Opts.Pairs, m.mix)
 		run := func(mode pim.Mode) (machine.Result, error) {
-			return r.runPair(w1, s1, w2, s2, int64(p), mode)
+			return r.runPair(ctx, m.w1, m.s1, m.w2, m.s2, int64(p), mode)
 		}
 		host, err := run(pim.HostOnly)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mem, err := run(pim.PIMOnly)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		la, err := run(pim.LocalityAware)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row{mix: mix, pimS: mem.IPC() / host.IPC(), laS: la.IPC() / host.IPC()})
+		rows[p] = row{mix: m.mix, pimS: mem.IPC() / host.IPC(), laS: la.IPC() / host.IPC()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].laS < rows[j].laS })
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].laS < rows[j].laS })
 	better := 0
 	for i, rw := range rows {
 		t.Rows = append(t.Rows, []string{fmt.Sprint(i), rw.mix, fmtF(rw.pimS), fmtF(rw.laS)})
@@ -214,7 +277,11 @@ func (r *Runner) Fig9() (*Table, error) {
 }
 
 // runPair runs two workloads concurrently, each on half the cores.
-func (r *Runner) runPair(w1 string, s1 workloads.Size, w2 string, s2 workloads.Size, seed int64, mode pim.Mode) (machine.Result, error) {
+func (r *Runner) runPair(ctx context.Context, w1 string, s1 workloads.Size, w2 string, s2 workloads.Size, seed int64, mode pim.Mode) (machine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return machine.Result{}, err
+	}
+	r.simulations.Add(1)
 	cfg := r.Opts.Cfg.Clone()
 	cfg.MaxOps = 0
 	half := cfg.Cores / 2
@@ -240,32 +307,42 @@ func (r *Runner) runPair(w1 string, s1 workloads.Size, w2 string, s2 workloads.S
 		return machine.Result{}, err
 	}
 	streams := append(a.Streams(m), b.Streams(m)...)
-	return m.Run(streams)
+	return m.RunContext(ctx, streams)
 }
 
 // Fig10 reproduces Figure 10: speedup of balanced dispatch (§7.4) on
 // top of Locality-Aware, large inputs.
-func (r *Runner) Fig10() (*Table, error) {
+func (r *Runner) Fig10(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Figure 10: balanced dispatch speedup over plain Locality-Aware (large inputs)",
 		Header: []string{"workload", "LA_cycles", "LA+BD_cycles", "speedup"},
 		Notes:  []string{"paper: up to +25%, biggest on SC/SVM (read-dominated, large inputs)"},
 	}
-	var all []float64
-	for _, name := range r.Opts.Workloads {
-		r.Opts.logf("fig10: %s", name)
-		la, err := r.RunCell(Cell{name, workloads.Large, pim.LocalityAware})
+	type pair struct{ la, bd machine.Result }
+	out := make([]pair, len(r.Opts.Workloads))
+	err := r.forEach(ctx, len(out), func(ctx context.Context, i int) error {
+		name := r.Opts.Workloads[i]
+		r.logf("fig10: %s", name)
+		la, err := r.RunCell(ctx, Cell{name, workloads.Large, pim.LocalityAware})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bd, err := r.runWorkload(name, r.params(workloads.Large), pim.LocalityAware,
+		bd, err := r.runWorkload(ctx, name, r.params(workloads.Large), pim.LocalityAware,
 			func(c *config.Config) { c.BalancedDispatch = true })
 		if err != nil {
-			return nil, err
+			return err
 		}
-		s := speedup(la, bd)
+		out[i] = pair{la, bd}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []float64
+	for i, name := range r.Opts.Workloads {
+		s := speedup(out[i].la, out[i].bd)
 		all = append(all, s)
-		t.Rows = append(t.Rows, []string{name, fmt.Sprint(la.Cycles), fmt.Sprint(bd.Cycles), fmtF(s)})
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(out[i].la.Cycles), fmt.Sprint(out[i].bd.Cycles), fmtF(s)})
 	}
 	t.Rows = append(t.Rows, []string{"GM", "", "", fmtF(geomean(all))})
 	return t, nil
@@ -274,48 +351,64 @@ func (r *Runner) Fig10() (*Table, error) {
 // Fig11a reproduces Figure 11a: sensitivity to operand buffer size
 // (normalized to the 4-entry default), Locality-Aware, geometric mean
 // over workloads; min/max columns give the error bars.
-func (r *Runner) Fig11a() (*Table, error) {
-	return r.pcuSweep("Figure 11a: operand buffer entries (speedup vs 4-entry default)",
+func (r *Runner) Fig11a(ctx context.Context) (*Table, error) {
+	return r.pcuSweep(ctx, "Figure 11a: operand buffer entries (speedup vs 4-entry default)",
 		[]int{1, 2, 4, 8, 16},
 		func(c *config.Config, v int) { c.OperandBufferEntries = v },
 		4)
 }
 
 // Fig11b reproduces Figure 11b: sensitivity to PCU execution width.
-func (r *Runner) Fig11b() (*Table, error) {
-	return r.pcuSweep("Figure 11b: PCU execution width (speedup vs single-issue default)",
+func (r *Runner) Fig11b(ctx context.Context) (*Table, error) {
+	return r.pcuSweep(ctx, "Figure 11b: PCU execution width (speedup vs single-issue default)",
 		[]int{1, 2, 4},
 		func(c *config.Config, v int) { c.PCUExecWidth = v },
 		1)
 }
 
-func (r *Runner) pcuSweep(title string, values []int, set func(*config.Config, int), def int) (*Table, error) {
+func (r *Runner) pcuSweep(ctx context.Context, title string, values []int, set func(*config.Config, int), def int) (*Table, error) {
 	t := &Table{
 		Title:  title,
 		Header: []string{"value", "GM_speedup", "min", "max"},
 		Notes:  []string{"paper: 4-entry buffers buy >30% over 1-entry; width beyond 1 is negligible"},
 	}
 	size := workloads.Medium
-	base := make(map[string]machine.Result)
-	for _, name := range r.Opts.Workloads {
-		res, err := r.runWorkload(name, r.params(size), pim.LocalityAware,
+	names := r.Opts.Workloads
+	base := make([]machine.Result, len(names))
+	err := r.forEach(ctx, len(names), func(ctx context.Context, i int) error {
+		res, err := r.runWorkload(ctx, names[i], r.params(size), pim.LocalityAware,
 			func(c *config.Config) { set(c, def) })
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base[name] = res
+		base[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, v := range values {
-		r.Opts.logf("pcu sweep: value %d", v)
+	// One flat (value × workload) grid keeps the pool saturated across
+	// sweep points.
+	grid := make([]machine.Result, len(values)*len(names))
+	err = r.forEach(ctx, len(grid), func(ctx context.Context, j int) error {
+		v, name := values[j/len(names)], names[j%len(names)]
+		r.logf("pcu sweep: value %d, %s", v, name)
+		res, err := r.runWorkload(ctx, name, r.params(size), pim.LocalityAware,
+			func(c *config.Config) { set(c, v) })
+		if err != nil {
+			return err
+		}
+		grid[j] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range values {
 		var sps []float64
 		minS, maxS := 0.0, 0.0
-		for i, name := range r.Opts.Workloads {
-			res, err := r.runWorkload(name, r.params(size), pim.LocalityAware,
-				func(c *config.Config) { set(c, v) })
-			if err != nil {
-				return nil, err
-			}
-			s := speedup(base[name], res)
+		for i := range names {
+			s := speedup(base[i], grid[vi*len(names)+i])
 			sps = append(sps, s)
 			if i == 0 || s < minS {
 				minS = s
@@ -331,7 +424,7 @@ func (r *Runner) pcuSweep(title string, values []int, set func(*config.Config, i
 
 // Sec76 reproduces §7.6: the performance cost of the real PMU versus
 // idealized directory and locality-monitor structures.
-func (r *Runner) Sec76() (*Table, error) {
+func (r *Runner) Sec76(ctx context.Context) (*Table, error) {
 	t := &Table{
 		Title:  "Section 7.6: PMU idealization (speedup over real PMU, geometric mean)",
 		Header: []string{"variant", "GM_speedup"},
@@ -351,56 +444,51 @@ func (r *Runner) Sec76() (*Table, error) {
 			c.MonitorLatency = 0
 		}},
 	}
-	for _, v := range variants {
-		var sps []float64
-		for _, name := range r.Opts.Workloads {
-			baseRes, err := r.RunCell(Cell{name, size, pim.LocalityAware})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.runWorkload(name, r.params(size), pim.LocalityAware, v.mutate)
-			if err != nil {
-				return nil, err
-			}
-			sps = append(sps, speedup(baseRes, res))
+	names := r.Opts.Workloads
+	sps := make([]float64, len(variants)*len(names))
+	err := r.forEach(ctx, len(sps), func(ctx context.Context, j int) error {
+		v, name := variants[j/len(names)], names[j%len(names)]
+		baseRes, err := r.RunCell(ctx, Cell{name, size, pim.LocalityAware})
+		if err != nil {
+			return err
 		}
-		t.Rows = append(t.Rows, []string{v.name, fmtF(geomean(sps))})
+		res, err := r.runWorkload(ctx, name, r.params(size), pim.LocalityAware, v.mutate)
+		if err != nil {
+			return err
+		}
+		sps[j] = speedup(baseRes, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
+		t.Rows = append(t.Rows, []string{v.name, fmtF(geomean(sps[vi*len(names) : (vi+1)*len(names)]))})
 	}
 	return t, nil
 }
 
 // Fig12 reproduces Figure 12: memory-hierarchy energy of Host-Only,
 // PIM-Only, and Locality-Aware normalized to Ideal-Host.
-func (r *Runner) Fig12(size workloads.Size) (*Table, error) {
+func (r *Runner) Fig12(ctx context.Context, size workloads.Size) (*Table, error) {
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 12 (%s inputs): memory-hierarchy energy normalized to Ideal-Host", size),
 		Header: []string{"workload", "Host-Only", "PIM-Only", "Locality-Aware"},
 		Notes:  []string{"paper: Locality-Aware lowest across all sizes; PIM-Only pays 2.2x DRAM on small"},
 	}
-	for _, name := range r.Opts.Workloads {
-		ideal, err := r.RunCell(Cell{name, size, pim.IdealHost})
-		if err != nil {
-			return nil, err
-		}
-		h, err := r.RunCell(Cell{name, size, pim.HostOnly})
-		if err != nil {
-			return nil, err
-		}
-		p, err := r.RunCell(Cell{name, size, pim.PIMOnly})
-		if err != nil {
-			return nil, err
-		}
-		l, err := r.RunCell(Cell{name, size, pim.LocalityAware})
-		if err != nil {
-			return nil, err
-		}
+	cells, err := r.runFourModes(ctx, "fig12", size)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range r.Opts.Workloads {
+		c := cells[i]
 		norm := func(x machine.Result) string {
-			if ideal.Energy.Total() == 0 {
+			if c.ideal.Energy.Total() == 0 {
 				return "0"
 			}
-			return fmtF(x.Energy.Total() / ideal.Energy.Total())
+			return fmtF(x.Energy.Total() / c.ideal.Energy.Total())
 		}
-		t.Rows = append(t.Rows, []string{name, norm(h), norm(p), norm(l)})
+		t.Rows = append(t.Rows, []string{name, norm(c.host), norm(c.mem), norm(c.la)})
 	}
 	return t, nil
 }

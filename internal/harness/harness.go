@@ -4,15 +4,26 @@
 // comparisons the paper plots. Each experiment has a Fig*/Sec* entry
 // point returning a renderable Table; cmd/peibench drives them from the
 // command line and bench_test.go drives scaled-down versions.
+//
+// Cells execute on a worker pool (Options.Parallelism, default
+// GOMAXPROCS): every simulated machine is fully self-contained, so
+// independent (workload, size, mode) cells run concurrently while table
+// rows are always assembled in declared order — output is byte-identical
+// at any parallelism level. Every entry point takes a context.Context;
+// cancelling it aborts in-flight simulations promptly.
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pimsim/internal/config"
 	"pimsim/internal/graph"
@@ -36,7 +47,12 @@ type Options struct {
 	Workloads []string
 	// Pairs is the multiprogrammed-workload count for Figure 9.
 	Pairs int
-	// Verbose, if non-nil, receives progress lines.
+	// Parallelism is the number of cells simulated concurrently
+	// (<= 0 means runtime.GOMAXPROCS(0)). Tables are identical at every
+	// level: cells are isolated machines and rows are assembled in
+	// declared order regardless of completion order.
+	Parallelism int
+	// Verbose, if non-nil, receives progress lines (goroutine-safe).
 	Verbose io.Writer
 }
 
@@ -64,13 +80,10 @@ func (o Options) withDefaults() Options {
 	if o.Pairs <= 0 {
 		o.Pairs = 40
 	}
-	return o
-}
-
-func (o Options) logf(format string, args ...interface{}) {
-	if o.Verbose != nil {
-		fmt.Fprintf(o.Verbose, format+"\n", args...)
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	return o
 }
 
 // Table is a rendered experiment result.
@@ -88,18 +101,41 @@ type Table struct {
 // MarshalRow is one machine-readable row of a table.
 type MarshalRow map[string]string
 
+// jsonKeys returns one unique JSON key per column: the header string
+// where present, "col<j>" otherwise, with a positional "#<col>" suffix
+// appended to later duplicates so colliding headers never drop data.
+func (t *Table) jsonKeys(cols int) []string {
+	keys := make([]string, cols)
+	seen := make(map[string]bool, cols)
+	for j := 0; j < cols; j++ {
+		key := fmt.Sprintf("col%d", j)
+		if j < len(t.Header) {
+			key = t.Header[j]
+		}
+		for seen[key] {
+			key = fmt.Sprintf("%s#%d", key, j)
+		}
+		seen[key] = true
+		keys[j] = key
+	}
+	return keys
+}
+
 // JSON serializes the table as {title, notes, rows:[{header:cell}]} for
 // downstream plotting tools.
 func (t *Table) JSON() ([]byte, error) {
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	keys := t.jsonKeys(cols)
 	rows := make([]MarshalRow, len(t.Rows))
 	for i, row := range t.Rows {
 		m := make(MarshalRow, len(row))
 		for j, cell := range row {
-			key := fmt.Sprintf("col%d", j)
-			if j < len(t.Header) {
-				key = t.Header[j]
-			}
-			m[key] = cell
+			m[keys[j]] = cell
 		}
 		rows[i] = m
 	}
@@ -189,16 +225,51 @@ type Cell struct {
 	Mode     pim.Mode
 }
 
+func (c Cell) key() string {
+	return fmt.Sprintf("%s/%s/%s", c.Workload, c.Size, c.Mode)
+}
+
+// cellRun is one in-flight or completed cached simulation. Waiters block
+// on done; res/err are immutable once done is closed.
+type cellRun struct {
+	done chan struct{}
+	res  machine.Result
+	err  error
+}
+
 // Runner executes and caches cells so figures sharing runs (6, 7, 12)
-// pay for each simulation once.
+// pay for each simulation once. It is safe for concurrent use: the cell
+// cache is singleflight — a cell requested while already simulating is
+// not re-run, the second requester blocks on the in-flight run.
 type Runner struct {
-	Opts  Options
-	cache map[string]machine.Result
+	Opts Options
+
+	mu    sync.Mutex
+	cache map[string]*cellRun
+
+	logMu sync.Mutex
+
+	// simulations counts machines built and run (tests, effort reports).
+	simulations atomic.Int64
 }
 
 // NewRunner creates a runner with normalized options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{Opts: opts.withDefaults(), cache: make(map[string]machine.Result)}
+	return &Runner{Opts: opts.withDefaults(), cache: make(map[string]*cellRun)}
+}
+
+// Simulations reports how many machine simulations this runner has
+// started (cache hits excluded).
+func (r *Runner) Simulations() int64 { return r.simulations.Load() }
+
+// logf emits one progress line to Options.Verbose (goroutine-safe).
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Opts.Verbose == nil {
+		return
+	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Opts.Verbose, format+"\n", args...)
 }
 
 func (r *Runner) params(size workloads.Size) workloads.Params {
@@ -210,24 +281,49 @@ func (r *Runner) params(size workloads.Size) workloads.Params {
 	}
 }
 
-// RunCell simulates one cell (cached).
-func (r *Runner) RunCell(c Cell) (machine.Result, error) {
-	key := fmt.Sprintf("%s/%s/%s", c.Workload, c.Size, c.Mode)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+// RunCell simulates one cell (cached, singleflight). Concurrent requests
+// for the same cell simulate exactly once; the waiters return the leader's
+// result, or ctx.Err() if their own context ends first.
+func (r *Runner) RunCell(ctx context.Context, c Cell) (machine.Result, error) {
+	key := c.key()
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return machine.Result{}, ctx.Err()
+		}
 	}
-	res, err := r.runWorkload(c.Workload, r.params(c.Size), c.Mode, nil)
+	e := &cellRun{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	res, err := r.runWorkload(ctx, c.Workload, r.params(c.Size), c.Mode, nil)
 	if err != nil {
-		return machine.Result{}, fmt.Errorf("harness: %s: %w", key, err)
+		// Failed (often: cancelled) runs are evicted so a later request
+		// re-simulates instead of replaying the error.
+		err = fmt.Errorf("harness: %s: %w", key, err)
+		r.mu.Lock()
+		delete(r.cache, key)
+		r.mu.Unlock()
 	}
-	r.cache[key] = res
-	r.Opts.logf("  %-18s %12d cycles  %5.1f%% PIM", key, res.Cycles, 100*res.PIMFraction())
-	return res, nil
+	e.res, e.err = res, err
+	close(e.done)
+	if err == nil {
+		r.logf("  %-18s %12d cycles  %5.1f%% PIM", key, res.Cycles, 100*res.PIMFraction())
+	}
+	return res, err
 }
 
 // runWorkload builds a fresh machine and runs one workload on it.
 // mutate optionally adjusts the cloned config before building.
-func (r *Runner) runWorkload(name string, p workloads.Params, mode pim.Mode, mutate func(*config.Config)) (machine.Result, error) {
+func (r *Runner) runWorkload(ctx context.Context, name string, p workloads.Params, mode pim.Mode, mutate func(*config.Config)) (machine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return machine.Result{}, err
+	}
+	r.simulations.Add(1)
 	cfg := r.Opts.Cfg.Clone()
 	cfg.MaxOps = 0 // budgeting happens in the generators (barrier-safe)
 	if mutate != nil {
@@ -241,14 +337,70 @@ func (r *Runner) runWorkload(name string, p workloads.Params, mode pim.Mode, mut
 	if err != nil {
 		return machine.Result{}, err
 	}
-	return m.Run(w.Streams(m))
+	return m.RunContext(ctx, w.Streams(m))
 }
 
 // runGraphWorkload runs a graph workload on a specific named dataset.
-func (r *Runner) runGraphWorkload(name string, spec graph.DatasetSpec, mode pim.Mode) (machine.Result, error) {
+func (r *Runner) runGraphWorkload(ctx context.Context, name string, spec graph.DatasetSpec, mode pim.Mode) (machine.Result, error) {
 	p := r.params(workloads.Large)
 	p.Graph = &spec
-	return r.runWorkload(name, p, mode, nil)
+	return r.runWorkload(ctx, name, p, mode, nil)
+}
+
+// forEach runs fn(ctx, i) for every i in [0, n) on the runner's worker
+// pool (Options.Parallelism goroutines). fn must write its result into
+// index-addressed storage so the caller can assemble output in declared
+// order. On the first fn error (lowest index wins) or on ctx
+// cancellation the remaining work is abandoned and that error returned.
+func (r *Runner) forEach(ctx context.Context, n int, fn func(context.Context, int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := r.Opts.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || cctx.Err() != nil {
+					return
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
 }
 
 // speedup formats a/b as a speedup of b over a.

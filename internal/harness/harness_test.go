@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strconv"
 	"strings"
@@ -10,6 +11,10 @@ import (
 	"pimsim/internal/pim"
 	"pimsim/internal/workloads"
 )
+
+// ctx is the background context shared by tests that don't exercise
+// cancellation.
+var ctx = context.Background()
 
 // tinyOptions keeps harness unit tests fast: two workloads, heavy
 // scaling, small budgets.
@@ -42,11 +47,11 @@ func TestTableRender(t *testing.T) {
 func TestRunCellCaches(t *testing.T) {
 	r := NewRunner(tinyOptions())
 	c := Cell{"atf", workloads.Small, pim.HostOnly}
-	a, err := r.RunCell(c)
+	a, err := r.RunCell(ctx, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.RunCell(c)
+	b, err := r.RunCell(ctx, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +65,7 @@ func TestRunCellCaches(t *testing.T) {
 
 func TestFig6ProducesAllRows(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	tb, err := r.Fig6(workloads.Small)
+	tb, err := r.Fig6(ctx, workloads.Small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,11 +84,11 @@ func TestFig6ProducesAllRows(t *testing.T) {
 
 func TestFig7SharesRunsWithFig6(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	if _, err := r.Fig6(workloads.Small); err != nil {
+	if _, err := r.Fig6(ctx, workloads.Small); err != nil {
 		t.Fatal(err)
 	}
 	before := len(r.cache)
-	if _, err := r.Fig7(workloads.Small); err != nil {
+	if _, err := r.Fig7(ctx, workloads.Small); err != nil {
 		t.Fatal(err)
 	}
 	if len(r.cache) != before {
@@ -93,7 +98,7 @@ func TestFig7SharesRunsWithFig6(t *testing.T) {
 
 func TestFig9PairsRun(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	tb, err := r.Fig9()
+	tb, err := r.Fig9(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +123,7 @@ func TestFig10BalancedDispatch(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"sc"}
 	r := NewRunner(o)
-	tb, err := r.Fig10()
+	tb, err := r.Fig10(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +136,7 @@ func TestFig11Sweeps(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"atf"}
 	r := NewRunner(o)
-	ta, err := r.Fig11a()
+	ta, err := r.Fig11a(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +147,7 @@ func TestFig11Sweeps(t *testing.T) {
 	if ta.Rows[2][0] != "4" || ta.Rows[2][1] != "1.000" {
 		t.Fatalf("default row wrong: %v", ta.Rows[2])
 	}
-	tbl, err := r.Fig11b()
+	tbl, err := r.Fig11b(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +160,7 @@ func TestSec76(t *testing.T) {
 	o := tinyOptions()
 	o.Workloads = []string{"atf"}
 	r := NewRunner(o)
-	tb, err := r.Sec76()
+	tb, err := r.Sec76(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +179,7 @@ func TestSec76(t *testing.T) {
 
 func TestFig12Energy(t *testing.T) {
 	r := NewRunner(tinyOptions())
-	tb, err := r.Fig12(workloads.Small)
+	tb, err := r.Fig12(ctx, workloads.Small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,14 +204,14 @@ func TestFig2AndFig8GraphSweep(t *testing.T) {
 	o.Scale = 2048 // shrink the nine graphs hard
 	o.OpBudget = 3_000
 	r := NewRunner(o)
-	t2, err := r.Fig2()
+	t2, err := r.Fig2(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(t2.Rows) != 9 {
 		t.Fatalf("fig2 rows = %d, want 9", len(t2.Rows))
 	}
-	t8, err := r.Fig8()
+	t8, err := r.Fig8(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

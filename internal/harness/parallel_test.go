@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+// renderFigures runs a representative figure set and returns the
+// rendered bytes — the comparison unit of the determinism test.
+func renderFigures(t *testing.T, o Options) string {
+	t.Helper()
+	r := NewRunner(o)
+	var buf bytes.Buffer
+	for _, f := range []func() (*Table, error){
+		func() (*Table, error) { return r.Fig6(ctx, workloads.Small) },
+		func() (*Table, error) { return r.Fig7(ctx, workloads.Small) },
+		func() (*Table, error) { return r.Fig12(ctx, workloads.Small) },
+		func() (*Table, error) { return r.Fig9(ctx) },
+	} {
+		tb, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Render(&buf)
+	}
+	return buf.String()
+}
+
+// TestParallelDeterminism: the same options must render byte-identical
+// tables at Parallelism 1 and 8 — rows are assembled in declared order
+// regardless of completion order, and every cell is an isolated machine.
+func TestParallelDeterminism(t *testing.T) {
+	serial := tinyOptions()
+	serial.Parallelism = 1
+	parallel := tinyOptions()
+	parallel.Parallelism = 8
+	a := renderFigures(t, serial)
+	b := renderFigures(t, parallel)
+	if a != b {
+		t.Fatalf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "Figure 6") {
+		t.Fatalf("unexpected output: %s", a)
+	}
+}
+
+// TestRunCellSingleflight: many concurrent requests for the same cell
+// must simulate exactly once, and every requester sees the same result.
+func TestRunCellSingleflight(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	c := Cell{"atf", workloads.Small, pim.HostOnly}
+	const requesters = 8
+	results := make([]int64, requesters)
+	var wg sync.WaitGroup
+	for i := 0; i < requesters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.RunCell(ctx, c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res.Cycles
+		}()
+	}
+	wg.Wait()
+	if n := r.Simulations(); n != 1 {
+		t.Fatalf("cell simulated %d times, want 1", n)
+	}
+	for i := 1; i < requesters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("requester %d saw %d cycles, requester 0 saw %d", i, results[i], results[0])
+		}
+	}
+}
+
+// TestCancellationMidRun: cancelling the context during a Fig6 sweep
+// must abort the run promptly with context.Canceled.
+func TestCancellationMidRun(t *testing.T) {
+	o := tinyOptions()
+	o.Parallelism = 4
+	r := NewRunner(o)
+	cctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := r.Fig6(cctx, workloads.Large)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			// The sweep beat the cancellation; that is legal but the test
+			// then proves nothing, so verify a pre-cancelled run errors.
+			if _, err := r.Fig7(cctx, workloads.Large); err == nil {
+				t.Fatal("cancelled context did not abort the sweep")
+			}
+			return
+		}
+		if !strings.Contains(err.Error(), context.Canceled.Error()) {
+			t.Fatalf("error %v does not wrap context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled sweep did not return within the deadline")
+	}
+}
+
+// TestCancelledCellNotCached: a cancelled cell must be evicted so a
+// later request re-simulates instead of replaying the error.
+func TestCancelledCellNotCached(t *testing.T) {
+	r := NewRunner(tinyOptions())
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := Cell{"atf", workloads.Small, pim.HostOnly}
+	if _, err := r.RunCell(cctx, c); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	res, err := r.RunCell(ctx, c)
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Fatalf("retry produced empty result: %+v", res)
+	}
+}
+
+// TestForEachFirstErrorByIndex: forEach must report the lowest-index
+// error even when a higher-index task fails first.
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	o := tinyOptions()
+	o.Parallelism = 4
+	r := NewRunner(o)
+	errA := context.DeadlineExceeded
+	err := r.forEach(ctx, 4, func(_ context.Context, i int) error {
+		if i == 1 {
+			time.Sleep(5 * time.Millisecond)
+			return errA
+		}
+		if i == 3 {
+			return context.Canceled
+		}
+		return nil
+	})
+	if err != errA && err != context.Canceled {
+		t.Fatalf("unexpected error %v", err)
+	}
+	// Index 1's error must win whenever both are recorded; since index 3
+	// may cancel the pool before index 1 records, accept either, but a
+	// nil error is always wrong.
+	if err == nil {
+		t.Fatal("forEach swallowed the error")
+	}
+}
+
+// TestTableJSONDuplicateHeaders: colliding headers must not silently
+// drop columns (the pre-fix behavior kept only the last duplicate).
+func TestTableJSONDuplicateHeaders(t *testing.T) {
+	tb := &Table{
+		Title:  "dup",
+		Header: []string{"speedup", "speedup", "x"},
+		Rows:   [][]string{{"1.0", "2.0", "3.0"}},
+	}
+	data, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	row := parsed.Rows[0]
+	if len(row) != 3 {
+		t.Fatalf("row has %d keys, want 3: %v", len(row), row)
+	}
+	if row["speedup"] != "1.0" || row["speedup#1"] != "2.0" || row["x"] != "3.0" {
+		t.Fatalf("bad dedup: %v", row)
+	}
+}
+
+// TestTableJSONRowWiderThanHeader: extra columns get positional keys.
+func TestTableJSONRowWiderThanHeader(t *testing.T) {
+	tb := &Table{
+		Header: []string{"a"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	data, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Rows[0]["a"] != "1" || parsed.Rows[0]["col1"] != "2" {
+		t.Fatalf("bad keys: %v", parsed.Rows[0])
+	}
+}

@@ -1,0 +1,65 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pimsim/internal/config"
+	"pimsim/internal/cpu"
+	"pimsim/internal/pim"
+)
+
+// TestRunContextPreCancelled: a machine run under an already-cancelled
+// context must return ctx.Err() without completing the simulation.
+func TestRunContextPreCancelled(t *testing.T) {
+	m := MustNew(config.Scaled(), pim.LocalityAware)
+	base := m.Store.Alloc(64*64, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.RunContext(ctx, []cpu.Stream{streamOfPEIs(m, base, 64, 1)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelMidRun: cancellation during the event loop aborts
+// the run promptly.
+func TestRunContextCancelMidRun(t *testing.T) {
+	m := MustNew(config.Scaled(), pim.LocalityAware)
+	const n = 200_000
+	base := m.Store.Alloc(64*64, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.RunContext(ctx, []cpu.Stream{streamOfPEIs(m, base, n, 1)})
+		errc <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		// nil means the run beat the cancellation (tiny machines are
+		// fast); anything else must be the context error.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// TestRunContextBackgroundCompletes: the context-aware path with a
+// non-cancellable context takes the fast path and still completes.
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	m := MustNew(config.Scaled(), pim.LocalityAware)
+	base := m.Store.Alloc(64*64, 64)
+	res, err := m.RunContext(context.Background(), []cpu.Stream{streamOfPEIs(m, base, 32, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || res.PEIs != 32 {
+		t.Fatalf("result %+v", res)
+	}
+}

@@ -6,6 +6,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"pimsim/internal/cache"
@@ -125,6 +126,13 @@ func (r Result) PIMFraction() float64 {
 // leave the core idle) and drives the simulation until every stream
 // completes. It may be called once per Machine.
 func (m *Machine) Run(streams []cpu.Stream) (Result, error) {
+	return m.RunContext(context.Background(), streams)
+}
+
+// RunContext is Run with cancellation: the event loop checks ctx between
+// event batches and returns ctx.Err() promptly once ctx is done. A
+// cancelled machine is left mid-simulation and must not be reused.
+func (m *Machine) RunContext(ctx context.Context, streams []cpu.Stream) (Result, error) {
 	if len(streams) > len(m.Cores) {
 		return Result{}, fmt.Errorf("machine: %d streams for %d cores", len(streams), len(m.Cores))
 	}
@@ -139,7 +147,22 @@ func (m *Machine) Run(streams []cpu.Stream) (Result, error) {
 	if started == 0 {
 		return Result{}, fmt.Errorf("machine: no streams to run")
 	}
-	m.K.Run()
+	if ctx.Done() == nil {
+		m.K.Run()
+	} else {
+		// checkEvery trades cancellation latency (one batch of events,
+		// microseconds of wall clock) against per-event select overhead.
+		const checkEvery = 8192
+		for m.K.Pending() > 0 {
+			select {
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			default:
+			}
+			for i := 0; i < checkEvery && m.K.Step(); i++ {
+			}
+		}
+	}
 	for i, s := range streams {
 		if s != nil && !m.Cores[i].Done() {
 			return Result{}, fmt.Errorf("machine: core %d deadlocked (inflight work remains)", i)

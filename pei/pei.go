@@ -13,11 +13,19 @@
 //	}
 //	res, _ := sys.Run(prog)
 //	fmt.Println(res.Cycles, sys.ReadU64(counter))
+//
+// Every run has a context-aware form (System.RunContext,
+// RunWorkloadContext, Reproduce) that aborts the simulation promptly
+// when the context is cancelled; the legacy signatures are thin wrappers
+// over context.Background(). Reproduce executes experiment cells on a
+// worker pool — see ReproduceOptions.Parallelism.
 package pei
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"pimsim/internal/config"
 	"pimsim/internal/cpu"
@@ -62,15 +70,34 @@ type System struct {
 	// M exposes the underlying machine for advanced use (stats registry,
 	// PMU, hierarchy).
 	M *machine.Machine
+
+	statsSink io.Writer
+	pmuLog    io.Writer
 }
 
+// Option configures a System at construction. The functional-options
+// form keeps NewSystem's signature stable as knobs accumulate.
+type Option func(*System)
+
+// WithStatsSink directs a full counter dump to w after every successful
+// run.
+func WithStatsSink(w io.Writer) Option { return func(s *System) { s.statsSink = w } }
+
+// WithPMUVerbose writes the PMU's one-line steering summary to w after
+// every successful run.
+func WithPMUVerbose(w io.Writer) Option { return func(s *System) { s.pmuLog = w } }
+
 // NewSystem builds a machine for cfg in the given mode.
-func NewSystem(cfg *Config, mode Mode) (*System, error) {
+func NewSystem(cfg *Config, mode Mode, opts ...Option) (*System, error) {
 	m, err := machine.New(cfg, mode)
 	if err != nil {
 		return nil, err
 	}
-	return &System{M: m}, nil
+	s := &System{M: m}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
 }
 
 // Alloc reserves n bytes of simulated physical memory (align must be a
@@ -86,7 +113,23 @@ func (s *System) WriteF64(a uint64, v float64) { s.M.Store.WriteF64(a, v) }
 
 // Run executes the given streams, one per core, to completion.
 func (s *System) Run(streams ...Stream) (Result, error) {
-	return s.M.Run(streams)
+	return s.RunContext(context.Background(), streams...)
+}
+
+// RunContext is Run with cancellation: the simulation aborts and returns
+// ctx.Err() promptly once ctx is done.
+func (s *System) RunContext(ctx context.Context, streams ...Stream) (Result, error) {
+	res, err := s.M.RunContext(ctx, streams)
+	if err != nil {
+		return res, err
+	}
+	if s.pmuLog != nil {
+		fmt.Fprintln(s.pmuLog, s.M.PMU.Summary())
+	}
+	if s.statsSink != nil {
+		s.M.Reg.Dump(s.statsSink)
+	}
+	return res, nil
 }
 
 // Summary returns a one-line steering summary.
@@ -160,6 +203,11 @@ type WorkloadParams = workloads.Params
 // RunWorkload builds a machine, runs one of the paper's ten workloads on
 // it, optionally verifies functional results, and returns the result.
 func RunWorkload(cfg *Config, mode Mode, name string, p WorkloadParams, verify bool) (Result, error) {
+	return RunWorkloadContext(context.Background(), cfg, mode, name, p, verify)
+}
+
+// RunWorkloadContext is RunWorkload with cancellation.
+func RunWorkloadContext(ctx context.Context, cfg *Config, mode Mode, name string, p WorkloadParams, verify bool) (Result, error) {
 	w, err := workloads.New(name, p)
 	if err != nil {
 		return Result{}, err
@@ -168,7 +216,7 @@ func RunWorkload(cfg *Config, mode Mode, name string, p WorkloadParams, verify b
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := m.Run(w.Streams(m))
+	res, err := m.RunContext(ctx, w.Streams(m))
 	if err != nil {
 		return Result{}, err
 	}
@@ -183,77 +231,123 @@ func RunWorkload(cfg *Config, mode Mode, name string, p WorkloadParams, verify b
 	return res, nil
 }
 
-// ReproduceOptions configures the experiment harness.
+// ReproduceOptions configures the experiment harness (including
+// Parallelism, the worker-pool width for concurrent cells).
 type ReproduceOptions = harness.Options
 
 // DefaultReproduceOptions returns laptop-scale experiment options.
 func DefaultReproduceOptions() ReproduceOptions { return harness.Default() }
 
-// Reproduce runs one named experiment ("fig2", "fig6", "fig7", "fig8",
-// "fig9", "fig10", "fig11a", "fig11b", "sec7.6", "fig12", "ablations",
-// or "all") and renders its tables to w.
-func Reproduce(name string, opts ReproduceOptions, w io.Writer) error {
-	return reproduceOn(harness.NewRunner(opts), name, opts, w)
+// experiment is one registered named experiment.
+type experiment struct {
+	name string
+	run  func(ctx context.Context, r *harness.Runner, w io.Writer) error
 }
 
-func reproduceOn(r *harness.Runner, name string, opts ReproduceOptions, w io.Writer) error {
-	render := func(t *harness.Table, err error) error {
+// renderer renders a (table, error) pair to w, propagating the error.
+func renderer(w io.Writer) func(*harness.Table, error) error {
+	return func(t *harness.Table, err error) error {
 		if err != nil {
 			return err
 		}
 		t.Render(w)
 		return nil
 	}
-	bySize := func(f func(workloads.Size) (*harness.Table, error)) error {
+}
+
+// bySize runs a per-size figure (as a method expression) over the three
+// Table 3 input sizes.
+func bySize(f func(*harness.Runner, context.Context, workloads.Size) (*harness.Table, error)) func(context.Context, *harness.Runner, io.Writer) error {
+	return func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		render := renderer(w)
 		for _, size := range []workloads.Size{workloads.Small, workloads.Medium, workloads.Large} {
-			if err := render(f(size)); err != nil {
+			if err := render(f(r, ctx, size)); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	switch name {
-	case "fig2":
-		return render(r.Fig2())
-	case "fig6":
-		return bySize(r.Fig6)
-	case "fig7":
-		return bySize(r.Fig7)
-	case "fig8":
-		return render(r.Fig8())
-	case "fig9":
-		return render(r.Fig9())
-	case "fig10":
-		return render(r.Fig10())
-	case "fig11a":
-		return render(r.Fig11a())
-	case "fig11b":
-		return render(r.Fig11b())
-	case "sec7.6", "sec76":
-		return render(r.Sec76())
-	case "ablations":
-		for _, f := range []func() (*harness.Table, error){
+}
+
+// experiments is the registry Reproduce dispatches on, in paper order.
+// "all" is implicit: it runs every entry on one shared runner so figures
+// 6, 7, 10, and 12 reuse cached simulation cells.
+var experiments = []experiment{
+	{"fig2", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Fig2(ctx))
+	}},
+	{"fig6", bySize((*harness.Runner).Fig6)},
+	{"fig7", bySize((*harness.Runner).Fig7)},
+	{"fig8", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Fig8(ctx))
+	}},
+	{"fig9", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Fig9(ctx))
+	}},
+	{"fig10", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Fig10(ctx))
+	}},
+	{"fig11a", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Fig11a(ctx))
+	}},
+	{"fig11b", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Fig11b(ctx))
+	}},
+	{"sec7.6", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		return renderer(w)(r.Sec76(ctx))
+	}},
+	{"fig12", bySize((*harness.Runner).Fig12)},
+	{"ablations", func(ctx context.Context, r *harness.Runner, w io.Writer) error {
+		render := renderer(w)
+		for _, f := range []func(context.Context) (*harness.Table, error){
 			r.AblationIgnoreBit, r.AblationPartialTagWidth,
 			r.AblationDirectorySize, r.AblationDispatchWindow,
 			r.AblationInterleave, r.AblationPrefetcher,
 			r.ComparisonHMC2,
 		} {
-			if err := render(f()); err != nil {
+			if err := render(f(ctx)); err != nil {
 				return err
 			}
 		}
 		return nil
-	case "fig12":
-		return bySize(r.Fig12)
-	case "all":
-		// One runner for all experiments: figures 6, 7, 10, and 12 share
-		// simulation cells through its cache.
-		for _, exp := range []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "sec7.6", "fig12", "ablations"} {
-			if err := reproduceOn(r, exp, opts, w); err != nil {
+	}},
+}
+
+// experimentAliases maps accepted alternate spellings to registry names.
+var experimentAliases = map[string]string{"sec76": "sec7.6"}
+
+// Experiments lists every runnable experiment name in paper order,
+// ending with the meta-experiment "all".
+func Experiments() []string {
+	names := make([]string, 0, len(experiments)+1)
+	for _, e := range experiments {
+		names = append(names, e.name)
+	}
+	return append(names, "all")
+}
+
+// Reproduce runs one named experiment (see Experiments for the valid
+// names) and renders its tables to w. Cells execute concurrently per
+// opts.Parallelism; cancelling ctx aborts the sweep promptly with
+// ctx.Err(). "all" runs every experiment on one shared runner so figures
+// 6, 7, 10, and 12 reuse simulation cells.
+func Reproduce(ctx context.Context, name string, opts ReproduceOptions, w io.Writer) error {
+	r := harness.NewRunner(opts)
+	if name == "all" {
+		for _, e := range experiments {
+			if err := e.run(ctx, r, w); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return fmt.Errorf("pei: unknown experiment %q", name)
+	if canonical, ok := experimentAliases[name]; ok {
+		name = canonical
+	}
+	for _, e := range experiments {
+		if e.name == name {
+			return e.run(ctx, r, w)
+		}
+	}
+	return fmt.Errorf("pei: unknown experiment %q (valid: %s)", name, strings.Join(Experiments(), ", "))
 }

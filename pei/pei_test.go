@@ -2,6 +2,7 @@ package pei
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestRunWorkloadVerifyRejectsBudget(t *testing.T) {
 }
 
 func TestReproduceUnknown(t *testing.T) {
-	if err := Reproduce("fig99", DefaultReproduceOptions(), &bytes.Buffer{}); err == nil {
+	if err := Reproduce(context.Background(), "fig99", DefaultReproduceOptions(), &bytes.Buffer{}); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -95,7 +96,7 @@ func TestReproduceFig10Tiny(t *testing.T) {
 	opts.OpBudget = 2000
 	opts.Workloads = []string{"sc"}
 	var buf bytes.Buffer
-	if err := Reproduce("fig10", opts, &buf); err != nil {
+	if err := Reproduce(context.Background(), "fig10", opts, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Figure 10") {
@@ -109,5 +110,106 @@ func TestBaselineAndScaledConfigs(t *testing.T) {
 	}
 	if err := ScaledConfig().Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	names := Experiments()
+	if len(names) == 0 || names[len(names)-1] != "all" {
+		t.Fatalf("Experiments() = %v, want trailing \"all\"", names)
+	}
+	for _, want := range []string{"fig2", "fig6", "fig9", "sec7.6", "ablations"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Experiments() missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestReproduceUnknownListsValidNames(t *testing.T) {
+	err := Reproduce(context.Background(), "fig99", DefaultReproduceOptions(), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"fig99", "fig6", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestReproduceAlias(t *testing.T) {
+	opts := DefaultReproduceOptions()
+	opts.Scale = 2048
+	opts.OpBudget = 500
+	opts.Workloads = []string{"atf"}
+	var buf bytes.Buffer
+	if err := Reproduce(context.Background(), "sec76", opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Section 7.6") {
+		t.Fatalf("alias output missing table: %s", buf.String())
+	}
+}
+
+func TestReproduceCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Reproduce(ctx, "fig6", DefaultReproduceOptions(), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestNewSystemOptions(t *testing.T) {
+	var stats, pmu bytes.Buffer
+	sys, err := NewSystem(ScaledConfig(), LocalityAware, WithStatsSink(&stats), WithPMUVerbose(&pmu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := sys.Alloc(8, 8)
+	prog := NewProgram()
+	for i := 0; i < 10; i++ {
+		prog.AtomicInc(counter)
+	}
+	if _, err := sys.RunContext(context.Background(), prog); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Len() == 0 {
+		t.Fatal("stats sink received nothing")
+	}
+	if !strings.Contains(pmu.String(), "PEIs") {
+		t.Fatalf("PMU log missing summary: %q", pmu.String())
+	}
+}
+
+func TestRunWorkloadContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := WorkloadParams{Threads: 2, Size: Small, Scale: 1024}
+	if _, err := RunWorkloadContext(ctx, ScaledConfig(), HostOnly, "atf", p, false); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+func TestSystemRunContextCancelled(t *testing.T) {
+	sys, err := NewSystem(ScaledConfig(), HostOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sys.Alloc(8, 8)
+	prog := NewProgram()
+	for i := 0; i < 100; i++ {
+		prog.AtomicInc(a)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.RunContext(ctx, prog); err == nil {
+		t.Fatal("expected cancellation error")
 	}
 }
