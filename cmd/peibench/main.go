@@ -11,6 +11,11 @@
 // Experiment cells run concurrently (-parallel, default GOMAXPROCS);
 // tables are byte-identical at any parallelism. Ctrl-C cancels the sweep
 // cleanly mid-run.
+//
+// Profiling:
+//
+//	peibench -exp fig6 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,8 +46,38 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		verbose  = flag.Bool("v", false, "log per-run progress")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "peibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "peibench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "peibench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "peibench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range pei.Experiments() {

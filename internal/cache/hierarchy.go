@@ -34,6 +34,18 @@ type Hierarchy struct {
 	l3MSHR       []map[uint64]*l3MSHR   // per bank, keyed by block
 	perBankMSHRs int
 
+	// Pre-resolved counter handles: every per-event increment on the
+	// simulated hot path goes through one of these, never a string key.
+	cL1Hits, cL1Misses, cL1Writebacks        stats.Handle
+	cL2Hits, cL2Misses, cL2Writebacks        stats.Handle
+	cL2Prefetches, cL2MSHRMerges             stats.Handle
+	cL2MSHRStalls                            stats.Handle
+	cL3Hits, cL3Misses, cL3Writebacks        stats.Handle
+	cL3MSHRMerges, cL3MSHRStalls             stats.Handle
+	cL3OrphanWritebacks, cL3BackInvals       stats.Handle
+	cCohUpgrades, cCohInvals, cCohDowngrades stats.Handle
+	cPMUBackWritebacks, cPMUBackInvals       stats.Handle
+
 	// OnL3Access, if non-nil, observes every L3 lookup (hit or miss) by
 	// block number. The PMU's locality monitor hangs off this hook.
 	OnL3Access func(blk uint64)
@@ -86,6 +98,27 @@ func NewHierarchy(k *sim.Kernel, cfg *config.Config, chain *hmc.Chain, reg *stat
 		h.perBankMSHRs = 1
 	}
 	h.AccessLatency = stats.NewHistogram(4, 16, 64, 256, 1024, 4096)
+	h.cL1Hits = reg.Counter("l1.hits")
+	h.cL1Misses = reg.Counter("l1.misses")
+	h.cL1Writebacks = reg.Counter("l1.writebacks")
+	h.cL2Hits = reg.Counter("l2.hits")
+	h.cL2Misses = reg.Counter("l2.misses")
+	h.cL2Writebacks = reg.Counter("l2.writebacks")
+	h.cL2Prefetches = reg.Counter("l2.prefetches")
+	h.cL2MSHRMerges = reg.Counter("l2.mshr_merges")
+	h.cL2MSHRStalls = reg.Counter("l2.mshr_stalls")
+	h.cL3Hits = reg.Counter("l3.hits")
+	h.cL3Misses = reg.Counter("l3.misses")
+	h.cL3Writebacks = reg.Counter("l3.writebacks")
+	h.cL3MSHRMerges = reg.Counter("l3.mshr_merges")
+	h.cL3MSHRStalls = reg.Counter("l3.mshr_stalls")
+	h.cL3OrphanWritebacks = reg.Counter("l3.orphan_writebacks")
+	h.cL3BackInvals = reg.Counter("l3.back_invalidations")
+	h.cCohUpgrades = reg.Counter("coh.upgrades")
+	h.cCohInvals = reg.Counter("coh.invalidations")
+	h.cCohDowngrades = reg.Counter("coh.downgrades")
+	h.cPMUBackWritebacks = reg.Counter("pmu.back_writebacks")
+	h.cPMUBackInvals = reg.Counter("pmu.back_invalidations")
 	return h
 }
 
@@ -112,7 +145,7 @@ func (h *Hierarchy) Access(core int, a uint64, write bool, done func()) {
 	}
 	h.k.Schedule(h.cfg.L1.LatencyCycles, func() {
 		if l := h.l1[core].Lookup(blk); l != nil {
-			h.reg.Inc("l1.hits")
+			h.cL1Hits.Inc()
 			if !write || l.State >= Exclusive {
 				if write {
 					l.State = Modified
@@ -122,14 +155,14 @@ func (h *Hierarchy) Access(core int, a uint64, write bool, done func()) {
 				return
 			}
 			// Write to a Shared line: upgrade through the L3.
-			h.reg.Inc("coh.upgrades")
+			h.cCohUpgrades.Inc()
 			h.privateMiss(core, blk, true, done)
 			return
 		}
-		h.reg.Inc("l1.misses")
+		h.cL1Misses.Inc()
 		h.k.Schedule(h.cfg.L2.LatencyCycles, func() {
 			if l := h.l2[core].Lookup(blk); l != nil {
-				h.reg.Inc("l2.hits")
+				h.cL2Hits.Inc()
 				if !write || l.State >= Exclusive {
 					st := l.State
 					if write {
@@ -141,11 +174,11 @@ func (h *Hierarchy) Access(core int, a uint64, write bool, done func()) {
 					done()
 					return
 				}
-				h.reg.Inc("coh.upgrades")
+				h.cCohUpgrades.Inc()
 				h.privateMiss(core, blk, true, done)
 				return
 			}
-			h.reg.Inc("l2.misses")
+			h.cL2Misses.Inc()
 			h.privateMiss(core, blk, write, done)
 			for i := 1; i <= h.cfg.PrefetchDepth; i++ {
 				h.prefetchBlock(core, blk+uint64(i))
@@ -170,7 +203,7 @@ func (h *Hierarchy) fillL1(core int, blk uint64, st State, dirty bool) {
 			l2.Dirty = true
 			l2.State = Modified
 		}
-		h.reg.Inc("l1.writebacks")
+		h.cL1Writebacks.Inc()
 	}
 	c.Insert(v, blk, st)
 	l := c.Peek(blk)
@@ -193,7 +226,7 @@ func (h *Hierarchy) fillL2(core int, blk uint64, st State, dirty bool) {
 			v.Dirty = true
 		}
 		if v.Dirty {
-			h.reg.Inc("l2.writebacks")
+			h.cL2Writebacks.Inc()
 			vk := v.Key
 			h.coreOut[core].Send(addr.BlockBytes+h.cfg.PacketHeaderBytes, func() {
 				h.markL3Dirty(vk)
@@ -214,7 +247,7 @@ func (h *Hierarchy) markL3Dirty(blk uint64) {
 		l.Dirty = true
 		return
 	}
-	h.reg.Inc("l3.orphan_writebacks")
+	h.cL3OrphanWritebacks.Inc()
 	h.chain.Write(blockAddr(blk), nil)
 }
 
@@ -231,7 +264,7 @@ func (h *Hierarchy) prefetchBlock(core int, blk uint64) {
 	if len(h.privMSHR[core]) >= h.cfg.L2.MSHRs {
 		return // never stall demand traffic for a prefetch
 	}
-	h.reg.Inc("l2.prefetches")
+	h.cL2Prefetches.Inc()
 	h.privateMiss(core, blk, false, func() {})
 }
 
@@ -240,12 +273,12 @@ func (h *Hierarchy) prefetchBlock(core int, blk uint64) {
 func (h *Hierarchy) privateMiss(core int, blk uint64, write bool, done func()) {
 	r := &privReq{write: write, done: done}
 	if m, ok := h.privMSHR[core][blk]; ok {
-		h.reg.Inc("l2.mshr_merges")
+		h.cL2MSHRMerges.Inc()
 		m.waiters = append(m.waiters, r)
 		return
 	}
 	if len(h.privMSHR[core]) >= h.cfg.L2.MSHRs {
-		h.reg.Inc("l2.mshr_stalls")
+		h.cL2MSHRStalls.Inc()
 		h.privPend[core] = append(h.privPend[core], &privReq{write: write, done: func() {
 			// Retried from scratch once a slot frees.
 			h.privateMiss(core, blk, write, done)
@@ -317,12 +350,12 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 	key := h.bankKey(blk)
 	// Join an in-flight fill if one exists.
 	if m, ok := h.l3MSHR[bank][blk]; ok {
-		h.reg.Inc("l3.mshr_merges")
+		h.cL3MSHRMerges.Inc()
 		m.waiters = append(m.waiters, l3Waiter{core: core, write: write, fill: respond})
 		return
 	}
 	if l := h.l3[bank].Lookup(key); l != nil {
-		h.reg.Inc("l3.hits")
+		h.cL3Hits.Inc()
 		delay := sim.Cycle(0)
 		others := l.Sharers &^ (1 << uint(core))
 		if others != 0 {
@@ -333,7 +366,7 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 					if others&(1<<uint(c)) == 0 {
 						continue
 					}
-					h.reg.Inc("coh.invalidations")
+					h.cCohInvals.Inc()
 					if l1, ok := h.l1[c].Invalidate(blk); ok && l1.Dirty {
 						l.Dirty = true
 					}
@@ -360,7 +393,7 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 						l2.State, l2.Dirty = Shared, false
 					}
 					if dirty {
-						h.reg.Inc("coh.downgrades")
+						h.cCohDowngrades.Inc()
 						l.Dirty = true
 						delay = 2 * h.cfg.NoCLatency
 					}
@@ -377,10 +410,10 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 		h.k.Schedule(delay, func() { respond(excl) })
 		return
 	}
-	h.reg.Inc("l3.misses")
+	h.cL3Misses.Inc()
 	if len(h.l3MSHR[bank]) >= h.perBankMSHRs {
 		// All MSHRs busy: retry after a short backoff.
-		h.reg.Inc("l3.mshr_stalls")
+		h.cL3MSHRStalls.Inc()
 		h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
 			h.l3Access(core, blk, write, respond)
 		})
@@ -429,7 +462,7 @@ func (h *Hierarchy) evictL3(bank int, v *Line) {
 		if v.Sharers&(1<<uint(c)) == 0 {
 			continue
 		}
-		h.reg.Inc("l3.back_invalidations")
+		h.cL3BackInvals.Inc()
 		if l1, ok := h.l1[c].Invalidate(blk); ok && l1.Dirty {
 			dirty = true
 		}
@@ -438,7 +471,7 @@ func (h *Hierarchy) evictL3(bank int, v *Line) {
 		}
 	}
 	if dirty {
-		h.reg.Inc("l3.writebacks")
+		h.cL3Writebacks.Inc()
 		h.chain.Write(blockAddr(blk), nil)
 	}
 }
@@ -450,7 +483,7 @@ func (h *Hierarchy) evictL3(bank int, v *Line) {
 func (h *Hierarchy) BackWriteback(a uint64, done func()) {
 	blk := addr.BlockOf(a)
 	bank := h.bankOf(blk)
-	h.reg.Inc("pmu.back_writebacks")
+	h.cPMUBackWritebacks.Inc()
 	h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
 		dirty := false
 		if l := h.l3[bank].Peek(h.bankKey(blk)); l != nil {
@@ -485,7 +518,7 @@ func (h *Hierarchy) BackWriteback(a uint64, done func()) {
 func (h *Hierarchy) BackInvalidate(a uint64, done func()) {
 	blk := addr.BlockOf(a)
 	bank := h.bankOf(blk)
-	h.reg.Inc("pmu.back_invalidations")
+	h.cPMUBackInvals.Inc()
 	h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
 		dirty := false
 		if l, ok := h.l3[bank].Invalidate(h.bankKey(blk)); ok {

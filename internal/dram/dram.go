@@ -45,12 +45,15 @@ type bank struct {
 
 // Controller is a per-vault FR-FCFS DRAM controller.
 type Controller struct {
-	k      *sim.Kernel
-	t      Timing
-	banks  []bank
-	queue  []*Request
-	stats  *stats.Registry
-	prefix string
+	k     *sim.Kernel
+	t     Timing
+	banks []bank
+	queue []*Request
+
+	// Per-event counters, resolved once at construction (the prefix is
+	// baked into the handle names, e.g. "dram.row_hit").
+	cRowHit, cRowMiss, cRowConflict stats.Handle
+	cReads, cWrites, cRefreshes     stats.Handle
 
 	nextIssue   sim.Cycle
 	pumpAt      sim.Cycle // earliest already-scheduled pump; -1 if none
@@ -61,12 +64,16 @@ type Controller struct {
 // names are prefixed (e.g. "dram.") in the shared registry.
 func NewController(k *sim.Kernel, banks int, t Timing, reg *stats.Registry, prefix string) *Controller {
 	return &Controller{
-		k:      k,
-		t:      t,
-		banks:  make([]bank, banks),
-		stats:  reg,
-		prefix: prefix,
-		pumpAt: -1,
+		k:            k,
+		t:            t,
+		banks:        make([]bank, banks),
+		cRowHit:      reg.Counter(prefix + "row_hit"),
+		cRowMiss:     reg.Counter(prefix + "row_miss"),
+		cRowConflict: reg.Counter(prefix + "row_conflict"),
+		cReads:       reg.Counter(prefix + "reads"),
+		cWrites:      reg.Counter(prefix + "writes"),
+		cRefreshes:   reg.Counter(prefix + "refreshes"),
+		pumpAt:       -1,
 	}
 }
 
@@ -83,17 +90,18 @@ func (c *Controller) Enqueue(r *Request) {
 	c.pump()
 }
 
-// latencyFor returns the service latency of r on its bank and whether it
-// is a row hit, a row miss (closed row), or a conflict.
-func (c *Controller) latencyFor(r *Request) (lat sim.Cycle, kind string) {
+// latencyFor returns the service latency of r on its bank and the
+// counter recording its kind: row hit, row miss (closed row), or
+// conflict.
+func (c *Controller) latencyFor(r *Request) (lat sim.Cycle, kind stats.Handle) {
 	b := &c.banks[r.Bank]
 	switch {
 	case b.open && b.openRow == r.Row:
-		return c.t.TCL, "row_hit"
+		return c.t.TCL, c.cRowHit
 	case !b.open:
-		return c.t.TRCD + c.t.TCL, "row_miss"
+		return c.t.TRCD + c.t.TCL, c.cRowMiss
 	default:
-		return c.t.TRP + c.t.TRCD + c.t.TCL, "row_conflict"
+		return c.t.TRP + c.t.TRCD + c.t.TCL, c.cRowConflict
 	}
 }
 
@@ -114,7 +122,7 @@ func (c *Controller) applyRefresh(now sim.Cycle) {
 				b.readyAt = end
 			}
 		}
-		c.stats.Inc(c.prefix + "refreshes")
+		c.cRefreshes.Inc()
 		c.nextRefresh += t.TREFI
 		if now-c.nextRefresh > 16*t.TREFI {
 			// Long idle gap: rows are already closed; skip ahead.
@@ -141,11 +149,11 @@ func (c *Controller) pump() {
 		b.openRow = r.Row
 		b.readyAt = now + lat
 		c.nextIssue = now + c.t.IssueGap
-		c.stats.Inc(c.prefix + kind)
+		kind.Inc()
 		if r.Write {
-			c.stats.Inc(c.prefix + "writes")
+			c.cWrites.Inc()
 		} else {
-			c.stats.Inc(c.prefix + "reads")
+			c.cReads.Inc()
 		}
 		done := r.Done
 		if done != nil {

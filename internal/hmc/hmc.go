@@ -17,9 +17,9 @@ import (
 
 // Vault is one vertical DRAM partition plus its logic-die controller.
 type Vault struct {
-	k    *sim.Kernel
-	reg  *stats.Registry
-	Ctrl *dram.Controller
+	k         *sim.Kernel
+	cTSVBytes stats.Handle
+	Ctrl      *dram.Controller
 	// TSV is the vertical link between the logic die and the DRAM dies;
 	// every block moved between a vault PCU (or the link interface) and
 	// DRAM crosses it.
@@ -31,7 +31,7 @@ type Vault struct {
 // ReadBlock fetches one 64-byte block from DRAM to the logic die: DRAM
 // access followed by a TSV transfer.
 func (v *Vault) ReadBlock(loc addr.Location, done func()) {
-	v.reg.Add("tsv.bytes", addr.BlockBytes)
+	v.cTSVBytes.Add(addr.BlockBytes)
 	v.Ctrl.Enqueue(&dram.Request{
 		Bank: loc.Bank,
 		Row:  loc.Row,
@@ -42,7 +42,7 @@ func (v *Vault) ReadBlock(loc addr.Location, done func()) {
 // WriteBlock stores one block from the logic die into DRAM: TSV transfer
 // followed by the DRAM write.
 func (v *Vault) WriteBlock(loc addr.Location, done func()) {
-	v.reg.Add("tsv.bytes", addr.BlockBytes)
+	v.cTSVBytes.Add(addr.BlockBytes)
 	v.TSV.Send(addr.BlockBytes, func() {
 		v.Ctrl.Enqueue(&dram.Request{
 			Bank:  loc.Bank,
@@ -84,7 +84,10 @@ type Chain struct {
 	Req   *sim.Link
 	Res   *sim.Link
 	Cubes []*Cube
-	stats *stats.Registry
+
+	// Per-packet byte/packet counters, resolved once at construction.
+	cReqBytes, cReqPackets stats.Handle
+	cResBytes, cResPackets stats.Handle
 
 	// cReq/cRes are the paper's C_req/C_res flit counters, halved every
 	// DispatchWindowCyc to form an exponential moving average. Decay is
@@ -98,22 +101,26 @@ type Chain struct {
 // NewChain builds the memory system described by cfg.
 func NewChain(k *sim.Kernel, cfg Config, reg *stats.Registry) *Chain {
 	ch := &Chain{
-		k:     k,
-		cfg:   cfg,
-		Req:   sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
-		Res:   sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
-		stats: reg,
+		k:           k,
+		cfg:         cfg,
+		Req:         sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
+		Res:         sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
+		cReqBytes:   reg.Counter("offchip.req.bytes"),
+		cReqPackets: reg.Counter("offchip.req.packets"),
+		cResBytes:   reg.Counter("offchip.res.bytes"),
+		cResPackets: reg.Counter("offchip.res.packets"),
 	}
+	tsvBytes := reg.Counter("tsv.bytes")
 	for c := 0; c < cfg.Mapping.Cubes; c++ {
 		cube := &Cube{Index: c}
 		for v := 0; v < cfg.Mapping.VaultsPerCube; v++ {
 			idx := c*cfg.Mapping.VaultsPerCube + v
 			vault := &Vault{
-				k:     k,
-				reg:   reg,
-				Ctrl:  dram.NewController(k, cfg.Mapping.BanksPerVault, cfg.Timing, reg, "dram."),
-				TSV:   sim.NewLink(k, cfg.TSVBytesPerCycle, cfg.TSVLatency),
-				Index: idx,
+				k:         k,
+				cTSVBytes: tsvBytes,
+				Ctrl:      dram.NewController(k, cfg.Mapping.BanksPerVault, cfg.Timing, reg, "dram."),
+				TSV:       sim.NewLink(k, cfg.TSVBytesPerCycle, cfg.TSVLatency),
+				Index:     idx,
 			}
 			cube.Vaults = append(cube.Vaults, vault)
 		}
@@ -182,8 +189,8 @@ func (ch *Chain) Deliver(a uint64, cmd Command, subcmd uint8, payload []byte, at
 	hop := ch.cfg.HopLatency * sim.Cycle(loc.Cube)
 	ch.decayPressure()
 	ch.cReq += float64((reqBytes + sim.FlitBytes - 1) / sim.FlitBytes)
-	ch.stats.Add("offchip.req.bytes", int64(reqBytes))
-	ch.stats.Inc("offchip.req.packets")
+	ch.cReqBytes.Add(int64(reqBytes))
+	ch.cReqPackets.Inc()
 	ch.Req.Send(reqBytes, func() {
 		ch.k.Schedule(hop, func() {
 			got, err := Decode(wire)
@@ -194,8 +201,8 @@ func (ch *Chain) Deliver(a uint64, cmd Command, subcmd uint8, payload []byte, at
 				total := ch.cfg.PacketHeaderBytes + respBytes
 				ch.decayPressure()
 				ch.cRes += float64((total + sim.FlitBytes - 1) / sim.FlitBytes)
-				ch.stats.Add("offchip.res.bytes", int64(total))
-				ch.stats.Inc("offchip.res.packets")
+				ch.cResBytes.Add(int64(total))
+				ch.cResPackets.Inc()
 				ch.k.Schedule(hop, func() {
 					ch.Res.Send(total, done)
 				})
@@ -230,5 +237,5 @@ func (ch *Chain) Write(a uint64, done func()) {
 // OffchipBytes reports total bytes moved over the chain in both
 // directions, the quantity Figure 7 normalizes.
 func (ch *Chain) OffchipBytes() int64 {
-	return ch.stats.Get("offchip.req.bytes") + ch.stats.Get("offchip.res.bytes")
+	return ch.cReqBytes.Get() + ch.cResBytes.Get()
 }

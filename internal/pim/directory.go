@@ -17,8 +17,8 @@ import (
 // writer waits for the first (the 1-bit writer counter). Waiters queue
 // FIFO.
 type Directory struct {
-	k   *sim.Kernel
-	reg *stats.Registry
+	k        *sim.Kernel
+	cBlocked stats.Handle
 
 	// latency is the directory access time added to every acquire.
 	latency sim.Cycle
@@ -53,7 +53,7 @@ type dirEntry struct {
 // NewDirectory creates a directory with the given entry count (rounded
 // up to a power of two) or an ideal one if entries <= 0 or ideal is set.
 func NewDirectory(k *sim.Kernel, entries int, latency sim.Cycle, ideal bool, reg *stats.Registry) *Directory {
-	d := &Directory{k: k, reg: reg, latency: latency, ideal: ideal}
+	d := &Directory{k: k, cBlocked: reg.Counter("pmu.dir_blocked"), latency: latency, ideal: ideal}
 	if ideal {
 		d.idealLocks = make(map[uint64]*dirEntry)
 		d.latency = 0
@@ -114,7 +114,7 @@ func (d *Directory) AcquireRegistered(target uint64, writer bool, granted func()
 			granted()
 			return
 		}
-		d.reg.Inc("pmu.dir_blocked")
+		d.cBlocked.Inc()
 		e.queue = append(e.queue, dirWaiter{writer: writer, granted: granted})
 		if writer {
 			e.writerWaiting++

@@ -24,7 +24,7 @@ type Monitor struct {
 	// ideal uses full tags (no aliasing), §7.6's idealized monitor.
 	ideal bool
 
-	reg *stats.Registry
+	cHit, cMiss, cIgnoredHit stats.Handle
 }
 
 type monEntry struct {
@@ -45,7 +45,9 @@ func NewMonitor(sets, ways int, partialBits uint, useIgnore, ideal bool, reg *st
 		partialBits: partialBits,
 		useIgnore:   useIgnore,
 		ideal:       ideal,
-		reg:         reg,
+		cHit:        reg.Counter("pmu.monitor_hit"),
+		cMiss:       reg.Counter("pmu.monitor_miss"),
+		cIgnoredHit: reg.Counter("pmu.monitor_ignored_hit"),
 	}
 }
 
@@ -115,14 +117,14 @@ func (m *Monitor) OnPIMIssue(blk uint64) {
 func (m *Monitor) Predict(blk uint64) (host, miss bool) {
 	e := m.find(blk)
 	if e == nil {
-		m.reg.Inc("pmu.monitor_miss")
+		m.cMiss.Inc()
 		return false, true
 	}
 	if e.ignore {
 		e.ignore = false
-		m.reg.Inc("pmu.monitor_ignored_hit")
+		m.cIgnoredHit.Inc()
 		return false, false
 	}
-	m.reg.Inc("pmu.monitor_hit")
+	m.cHit.Inc()
 	return true, false
 }

@@ -63,6 +63,12 @@ type PMU struct {
 
 	// PEILatency records issue-to-retire latency of every PEI.
 	PEILatency *stats.Histogram
+
+	// Per-PEI counters, resolved at construction; cOp is indexed by
+	// OpKind ("pei.op.<name>").
+	cTotal, cHost, cMem stats.Handle
+	cFences, cBalanced  stats.Handle
+	cOp                 []stats.Handle
 }
 
 // NewPMU wires the PMU into an existing hierarchy and chain. It installs
@@ -88,6 +94,15 @@ func NewPMU(k *sim.Kernel, cfg *config.Config, hier *cache.Hierarchy, chain *hmc
 	for v := 0; v < cfg.Mapping().VaultsTotal(); v++ {
 		p.MemPCU = append(p.MemPCU, NewPCU(k, cfg.OperandBufferEntries, cfg.PCUExecWidth, cfg.MemPCUClockDiv))
 	}
+	p.cTotal = reg.Counter("pei.total")
+	p.cHost = reg.Counter("pei.host")
+	p.cMem = reg.Counter("pei.mem")
+	p.cFences = reg.Counter("pei.fences")
+	p.cBalanced = reg.Counter("pei.balanced_to_host")
+	p.cOp = make([]stats.Handle, len(Ops))
+	for op := range Ops {
+		p.cOp[op] = reg.Counter("pei.op." + Ops[op].Name)
+	}
 	return p
 }
 
@@ -97,8 +112,8 @@ func (p *PMU) Issue(pei *PEI) {
 	if err := pei.Validate(); err != nil {
 		panic(err)
 	}
-	p.reg.Inc("pei.total")
-	p.reg.Inc("pei.op." + pei.Op.Info().Name)
+	p.cTotal.Inc()
+	p.cOp[pei.Op].Inc()
 	start := p.k.Now()
 	userDone := pei.Done
 	pei.Done = func() {
@@ -154,7 +169,7 @@ func (p *PMU) decideHost(pei *PEI) bool {
 	if miss && p.cfg.BalancedDispatch {
 		host = p.balancedChoice(pei.Op)
 		if host {
-			p.reg.Inc("pei.balanced_to_host")
+			p.cBalanced.Inc()
 		}
 	}
 	return host
@@ -189,7 +204,7 @@ func (p *PMU) issueIdeal(pei *PEI) {
 			p.k.Schedule(sim.Cycle(info.ComputeCycles), func() {
 				pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
 				finish := func() {
-					p.reg.Inc("pei.host")
+					p.cHost.Inc()
 					pei.Done()
 					p.Dir.Release(pei.Target, info.Writer)
 				}
@@ -214,7 +229,7 @@ func (p *PMU) executeHost(pei *PEI) {
 			pcu.Compute(info.ComputeCycles, func() {
 				pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
 				finish := func() {
-					p.reg.Inc("pei.host")
+					p.cHost.Inc()
 					pcu.Release()
 					pei.Done()
 					p.Dir.Release(pei.Target, info.Writer)
@@ -279,7 +294,7 @@ func (p *PMU) sendPIMOpRaw(pei *PEI, locked bool) {
 						v.WriteBlock(loc, nil)
 					}
 					respond(info.OutputBytes, func() {
-						p.reg.Inc("pei.mem")
+						p.cMem.Inc()
 						pei.Done()
 						if locked {
 							p.Dir.Release(pei.Target, info.Writer)
@@ -295,7 +310,7 @@ func (p *PMU) sendPIMOpRaw(pei *PEI, locked bool) {
 // Fence implements pfence: done runs once all previously issued writer
 // PEIs (from any core) have completed.
 func (p *PMU) Fence(done func()) {
-	p.reg.Inc("pei.fences")
+	p.cFences.Inc()
 	p.Dir.Fence(done)
 }
 

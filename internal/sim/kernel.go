@@ -10,47 +10,57 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // Cycle is a point in simulated time, measured in CPU cycles of the base
 // clock domain (4 GHz in the baseline configuration).
 type Cycle = int64
 
-// event is a scheduled callback. seq breaks ties so same-cycle events run
-// in the order they were scheduled.
-type event struct {
+// The kernel is a calendar queue: a ring of per-cycle FIFO buckets
+// covering the next ringWindow cycles, plus a min-heap overflow for
+// events farther out. Nearly all simulator events (cache pipelines, link
+// serialization, DRAM timing) land within a few thousand cycles of now,
+// so the steady state is bucket appends and pops — no interface boxing,
+// no per-event allocation, O(1) amortized ordering.
+const (
+	ringWindow = 1 << 12 // cycles of near future covered by the ring
+	ringMask   = ringWindow - 1
+	occWords   = ringWindow / 64
+)
+
+// bucket holds the events of one in-window cycle, dispatched FIFO via a
+// head cursor so same-cycle scheduling during dispatch stays ordered.
+type bucket struct {
+	fns  []func()
+	head int
+}
+
+// farEvent is an event beyond the ring's horizon. seq breaks ties so
+// same-cycle far events migrate into their bucket in scheduling order.
+type farEvent struct {
 	when Cycle
 	seq  uint64
 	fn   func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is the discrete-event scheduler. The zero value is not usable;
 // construct with NewKernel.
 type Kernel struct {
-	now    Cycle
-	seq    uint64
-	events eventHeap
+	now Cycle
+
+	// base is the cycle mapped to the ring's current origin; the ring
+	// holds exactly the pending events with base <= when < base+ringWindow
+	// (invariant: base <= now, so nothing schedulable lands behind it).
+	base      Cycle
+	ring      [ringWindow]bucket
+	occ       [occWords]uint64 // occupancy bitmap, one bit per bucket
+	ringCount int
+
+	far []farEvent // min-heap on (when, seq)
+	seq uint64
+
 	// Executed counts events dispatched since construction; useful for
 	// rough simulation-effort reporting.
 	Executed uint64
@@ -58,9 +68,7 @@ type Kernel struct {
 
 // NewKernel returns an empty kernel at cycle 0.
 func NewKernel() *Kernel {
-	k := &Kernel{}
-	heap.Init(&k.events)
-	return k
+	return &Kernel{}
 }
 
 // Now returns the current simulated cycle.
@@ -80,23 +88,101 @@ func (k *Kernel) At(cycle Cycle, fn func()) {
 	if cycle < k.now {
 		panic(fmt.Sprintf("sim: schedule in the past (now %d, at %d)", k.now, cycle))
 	}
-	heap.Push(&k.events, event{when: cycle, seq: k.seq, fn: fn})
+	if cycle < k.base+ringWindow {
+		slot := int(cycle & ringMask)
+		k.ring[slot].fns = append(k.ring[slot].fns, fn)
+		k.occ[slot>>6] |= 1 << uint(slot&63)
+		k.ringCount++
+		return
+	}
+	k.farPush(farEvent{when: cycle, seq: k.seq, fn: fn})
 	k.seq++
 }
 
 // Pending reports the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.ringCount + len(k.far) }
+
+// nextRingCycle returns the earliest cycle with a pending ring event.
+// Precondition: ringCount > 0. The occupancy bitmap makes the scan
+// O(ringWindow/64) worst case, one word test per 64 empty buckets.
+func (k *Kernel) nextRingCycle() Cycle {
+	start := int(k.base & ringMask)
+	w := start >> 6
+	word := k.occ[w] &^ (1<<uint(start&63) - 1)
+	for i := 0; i <= occWords; i++ {
+		if word != 0 {
+			slot := w<<6 + bits.TrailingZeros64(word)
+			d := slot - start
+			if d < 0 {
+				d += ringWindow
+			}
+			return k.base + Cycle(d)
+		}
+		w = (w + 1) & (occWords - 1)
+		word = k.occ[w]
+	}
+	panic("sim: ring events pending but no occupied bucket")
+}
+
+// migrate moves far events that now fall inside the ring's horizon into
+// their buckets. Heap order is (when, seq), so same-cycle events land in
+// scheduling order; migration happens the moment the window first covers
+// a cycle, before any direct append to that cycle is possible, which
+// preserves global same-cycle FIFO.
+func (k *Kernel) migrate() {
+	horizon := k.base + ringWindow
+	for len(k.far) > 0 && k.far[0].when < horizon {
+		e := k.farPop()
+		slot := int(e.when & ringMask)
+		k.ring[slot].fns = append(k.ring[slot].fns, e.fn)
+		k.occ[slot>>6] |= 1 << uint(slot&63)
+		k.ringCount++
+	}
+}
+
+// peek returns the cycle of the next pending event. Any ring event
+// precedes every far event (far implies when >= base+ringWindow).
+func (k *Kernel) peek() (Cycle, bool) {
+	if k.ringCount > 0 {
+		return k.nextRingCycle(), true
+	}
+	if len(k.far) > 0 {
+		return k.far[0].when, true
+	}
+	return 0, false
+}
 
 // Step dispatches the next event, advancing time to its cycle. It reports
 // whether an event was dispatched.
 func (k *Kernel) Step() bool {
-	if len(k.events) == 0 {
-		return false
+	if k.ringCount == 0 {
+		if len(k.far) == 0 {
+			return false
+		}
+		// Idle gap longer than the window: jump the ring to the next
+		// event and pull everything newly in range into buckets.
+		k.base = k.far[0].when
+		k.migrate()
 	}
-	e := heap.Pop(&k.events).(event)
-	k.now = e.when
+	c := k.nextRingCycle()
+	if c != k.base {
+		k.base = c
+		k.migrate()
+	}
+	slot := int(c & ringMask)
+	b := &k.ring[slot]
+	fn := b.fns[b.head]
+	b.fns[b.head] = nil // release the closure as soon as it has run
+	b.head++
+	k.ringCount--
+	if b.head == len(b.fns) {
+		b.fns = b.fns[:0]
+		b.head = 0
+		k.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	k.now = c
 	k.Executed++
-	e.fn()
+	fn()
 	return true
 }
 
@@ -109,7 +195,11 @@ func (k *Kernel) Run() {
 // RunUntil dispatches events with cycle <= limit, then sets time to limit
 // if the simulation got there. Events beyond limit remain queued.
 func (k *Kernel) RunUntil(limit Cycle) {
-	for len(k.events) > 0 && k.events[0].when <= limit {
+	for {
+		c, ok := k.peek()
+		if !ok || c > limit {
+			break
+		}
 		k.Step()
 	}
 	if k.now < limit {
@@ -122,4 +212,52 @@ func (k *Kernel) RunUntil(limit Cycle) {
 func (k *Kernel) RunWhile(cond func() bool) {
 	for cond() && k.Step() {
 	}
+}
+
+// farPush and farPop maintain the overflow min-heap without the
+// interface boxing of container/heap.
+func (k *Kernel) farPush(e farEvent) {
+	k.far = append(k.far, e)
+	i := len(k.far) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !farLess(k.far[i], k.far[p]) {
+			break
+		}
+		k.far[i], k.far[p] = k.far[p], k.far[i]
+		i = p
+	}
+}
+
+func (k *Kernel) farPop() farEvent {
+	h := k.far
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = farEvent{} // drop the closure reference
+	k.far = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && farLess(h[l], h[small]) {
+			small = l
+		}
+		if r < n && farLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top
+}
+
+func farLess(a, b farEvent) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
 }

@@ -1,0 +1,41 @@
+package stats
+
+import "testing"
+
+// BenchmarkRegistryHandle vs BenchmarkRegistryString measure the two
+// counter-update paths: a pre-resolved Handle (what every component now
+// uses on the simulated hot path) against the legacy string-keyed map
+// access (kept for the read side).
+func BenchmarkRegistryHandle(b *testing.B) {
+	r := NewRegistry()
+	h := r.Counter("l1.hits")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Inc()
+	}
+	if h.Get() != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
+
+func BenchmarkRegistryString(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Inc("l1.hits")
+	}
+	if r.Get("l1.hits") != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(4, 16, 64, 256, 1024, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i & 8191))
+	}
+}

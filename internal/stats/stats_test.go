@@ -69,6 +69,60 @@ func TestRegistryDump(t *testing.T) {
 	}
 }
 
+func TestRegistryHandle(t *testing.T) {
+	r := NewRegistry()
+	h := r.Counter("hits")
+	h.Inc()
+	h.Add(4)
+	if got := h.Get(); got != 5 {
+		t.Fatalf("handle Get = %d, want 5", got)
+	}
+	if got := r.Get("hits"); got != 5 {
+		t.Fatalf("string Get = %d, want 5", got)
+	}
+	if h.Name() != "hits" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	// String-keyed and handle updates hit the same cell.
+	r.Add("hits", 10)
+	if h.Get() != 15 {
+		t.Fatalf("after string Add, handle Get = %d, want 15", h.Get())
+	}
+	h.Set(3)
+	if r.Get("hits") != 3 {
+		t.Fatalf("after handle Set, string Get = %d, want 3", r.Get("hits"))
+	}
+}
+
+// TestRegistryHandleSurvivesGrowth pins the reason Handle stores an
+// index rather than a pointer: interning more counters grows the backing
+// slice, and previously issued handles must keep working.
+func TestRegistryHandleSurvivesGrowth(t *testing.T) {
+	r := NewRegistry()
+	h := r.Counter("first")
+	for i := 0; i < 1000; i++ {
+		r.Counter("c" + strings.Repeat("x", i%7) + string(rune('a'+i%26)))
+		r.Inc("other" + string(rune('a'+i%26)))
+	}
+	h.Add(42)
+	if got := r.Get("first"); got != 42 {
+		t.Fatalf("handle stale after growth: Get = %d, want 42", got)
+	}
+}
+
+// TestRegistryCounterIdempotent checks that re-resolving a name returns
+// a handle to the same cell.
+func TestRegistryCounterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	a.Inc()
+	b.Inc()
+	if a.Get() != 2 || b.Get() != 2 {
+		t.Fatalf("handles diverged: %d vs %d", a.Get(), b.Get())
+	}
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	h := NewHistogram(10, 100, 1000)
 	h.Observe(5)
@@ -80,6 +134,56 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 	if h.Max != 5000 || h.N != 4 {
 		t.Fatalf("Max=%d N=%d", h.Max, h.N)
+	}
+}
+
+// TestHistogramBucketEdges table-tests the binary-search bucket
+// selection at every boundary: a sample equal to a bound lands in that
+// bound's bucket (bucket i holds v <= Bounds[i]).
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int // index into Counts, or -1 for overflow
+	}{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 0},
+		{11, 1}, {99, 1}, {100, 1},
+		{101, 2}, {1000, 2},
+		{1001, -1}, {1 << 40, -1},
+	}
+	for _, c := range cases {
+		h := NewHistogram(10, 100, 1000)
+		h.Observe(c.v)
+		want := make([]int64, len(h.Counts))
+		var wantOverflow int64
+		if c.bucket >= 0 {
+			want[c.bucket] = 1
+		} else {
+			wantOverflow = 1
+		}
+		for i := range h.Counts {
+			if h.Counts[i] != want[i] {
+				t.Fatalf("Observe(%d): Counts = %v, want %v", c.v, h.Counts, want)
+			}
+		}
+		if h.Overflow != wantOverflow {
+			t.Fatalf("Observe(%d): Overflow = %d, want %d", c.v, h.Overflow, wantOverflow)
+		}
+	}
+}
+
+// TestHistogramMaxAllNegative pins the fixed Max seeding: for a stream
+// of all-negative samples, Max must be the (negative) maximum rather
+// than a stale zero.
+func TestHistogramMaxAllNegative(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(-50)
+	h.Observe(-3)
+	h.Observe(-999)
+	if h.Max != -3 {
+		t.Fatalf("Max = %d, want -3", h.Max)
+	}
+	if h.Sum != -1052 || h.N != 3 {
+		t.Fatalf("Sum=%d N=%d", h.Sum, h.N)
 	}
 }
 

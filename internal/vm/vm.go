@@ -90,8 +90,8 @@ type TLB struct {
 	slots   []tlbSlot
 	clock   uint64
 
-	pt  *PageTable
-	reg *stats.Registry
+	pt           *PageTable
+	cHits, cMiss stats.Handle
 	// HitLatency is folded into the L1 access in a real pipeline and
 	// costs nothing extra; MissLatency models the page-table walk.
 	MissLatency sim.Cycle
@@ -111,7 +111,11 @@ func NewTLB(entries int, pt *PageTable, missLatency sim.Cycle, reg *stats.Regist
 	if entries <= 0 {
 		panic("vm: TLB needs at least one entry")
 	}
-	return &TLB{entries: entries, slots: make([]tlbSlot, entries), pt: pt, reg: reg, MissLatency: missLatency}
+	return &TLB{
+		entries: entries, slots: make([]tlbSlot, entries), pt: pt,
+		cHits: reg.Counter("tlb.hits"), cMiss: reg.Counter("tlb.misses"),
+		MissLatency: missLatency,
+	}
 }
 
 // Lookup translates va, reporting the physical address, whether the
@@ -125,7 +129,7 @@ func (t *TLB) Lookup(va uint64, write bool) (pa uint64, hit bool, err error) {
 		if s.valid && s.vpn == vpn {
 			s.lru = t.clock
 			t.Hits++
-			t.reg.Inc("tlb.hits")
+			t.cHits.Inc()
 			// Permission checks still consult the page table (the PTE
 			// bits travel with the TLB entry in real hardware; the
 			// outcome is identical).
@@ -134,7 +138,7 @@ func (t *TLB) Lookup(va uint64, write bool) (pa uint64, hit bool, err error) {
 		}
 	}
 	t.Misses++
-	t.reg.Inc("tlb.misses")
+	t.cMiss.Inc()
 	pa, err = t.pt.Translate(va, write)
 	if err != nil {
 		return 0, false, err
