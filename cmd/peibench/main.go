@@ -120,7 +120,9 @@ func main() {
 	start := time.Now()
 	if err := pei.Reproduce(ctx, *exp, opts, w); err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "peibench: interrupted")
+			// The note goes to stderr so piped/redirected table output
+			// stays clean; 130 = 128+SIGINT, distinct from failures.
+			fmt.Fprintln(os.Stderr, "peibench: interrupted — tables rendered so far are partial")
 			os.Exit(130)
 		}
 		fmt.Fprintln(os.Stderr, "peibench:", err)

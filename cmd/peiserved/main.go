@@ -1,0 +1,85 @@
+// Command peiserved serves the PEI simulator over HTTP: experiments and
+// workload runs become queued jobs with cached, content-addressed
+// results, live SSE progress, and Prometheus metrics.
+//
+//	peiserved -addr :8080 -workers 4 -queue-depth 128 -cache-mb 256
+//
+// API (see README "Serving" for curl examples):
+//
+//	POST   /v1/jobs             submit a pei.JobSpec (JSON); 200 on a
+//	                            cache hit, 202 when queued, 429 when the
+//	                            queue is full
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result rendered result (text/plain)
+//	GET    /v1/jobs/{id}/events live progress (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/experiments      runnable experiments/workloads/modes
+//	GET    /metrics             Prometheus text format
+//	GET    /healthz             liveness (503 while draining)
+//
+// SIGTERM/SIGINT stop accepting new jobs, drain queued and running
+// jobs (bounded by -drain-timeout), then exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pimsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 2, "jobs simulated concurrently")
+		queueDepth   = flag.Int("queue-depth", 64, "max queued jobs before 429")
+		cacheMB      = flag.Int64("cache-mb", 64, "result-cache LRU budget in MiB")
+		parallel     = flag.Int("parallel", 0, "simulation cells per job (0 = GOMAXPROCS/workers)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "peiserved ", log.LstdFlags|log.Lmsgprefix)
+	srv := serve.New(serve.Options{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheBytes:  *cacheMB << 20,
+		Parallelism: *parallel,
+		Logf:        logger.Printf,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening addr=%s workers=%d queue-depth=%d cache-mb=%d", *addr, *workers, *queueDepth, *cacheMB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "peiserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+
+	logger.Printf("shutdown requested; draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("http shutdown: %v", err)
+	}
+	logger.Printf("bye")
+}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,20 +20,6 @@ import (
 
 	"pimsim/pei"
 )
-
-func parseMode(s string) (pei.Mode, error) {
-	switch strings.ToLower(s) {
-	case "host", "host-only":
-		return pei.HostOnly, nil
-	case "pim", "pim-only":
-		return pei.PIMOnly, nil
-	case "locality", "locality-aware", "la":
-		return pei.LocalityAware, nil
-	case "ideal", "ideal-host":
-		return pei.IdealHost, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (host|pim|locality|ideal)", s)
-}
 
 func main() {
 	var (
@@ -63,11 +50,11 @@ func main() {
 	}
 	cfg.BalancedDispatch = *balanced
 
-	mode, err := parseMode(*modeStr)
+	mode, err := pei.ParseMode(*modeStr)
 	if err != nil {
 		fatal(err)
 	}
-	size, err := parseSize(*sizeStr)
+	size, err := pei.ParseSize(*sizeStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,6 +70,12 @@ func main() {
 	params := pei.WorkloadParams{Threads: nThreads, Size: size, Scale: *scale, OpBudget: *budget}
 	res, err := pei.RunWorkloadContext(ctx, cfg, mode, *workload, params, *verify)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Distinct exit code for interruption (128+SIGINT), like
+			// shells report it, so scripts can tell Ctrl-C from failure.
+			fmt.Fprintln(os.Stderr, "peisim: interrupted")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 
@@ -111,18 +104,6 @@ func main() {
 			fmt.Printf("%-40s %d\n", k, res.Stats[k])
 		}
 	}
-}
-
-func parseSize(s string) (pei.Size, error) {
-	switch strings.ToLower(s) {
-	case "small":
-		return pei.Small, nil
-	case "medium":
-		return pei.Medium, nil
-	case "large":
-		return pei.Large, nil
-	}
-	return 0, fmt.Errorf("unknown size %q", s)
 }
 
 func fatal(err error) {

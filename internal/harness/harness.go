@@ -54,6 +54,27 @@ type Options struct {
 	Parallelism int
 	// Verbose, if non-nil, receives progress lines (goroutine-safe).
 	Verbose io.Writer
+	// Progress, if non-nil, receives one event when each simulation
+	// starts and one when it finishes. With Parallelism > 1 it is called
+	// from multiple goroutines concurrently; the callback must be
+	// goroutine-safe and fast (it runs on the simulation worker).
+	Progress func(Progress)
+}
+
+// Progress is one simulation-lifecycle event delivered to
+// Options.Progress (live experiment feedback: peiserved streams these
+// over SSE).
+type Progress struct {
+	// Cell names the run as "workload/size/mode".
+	Cell string `json:"cell"`
+	// Done is false when the simulation starts, true when it finishes.
+	Done bool `json:"done"`
+	// Cycles is the simulated cycle count (Done events only; zero for
+	// failed or cancelled runs).
+	Cycles int64 `json:"cycles,omitempty"`
+	// Simulations is the runner's machine count so far, including this
+	// one.
+	Simulations int64 `json:"simulations"`
 }
 
 // Default returns laptop-scale options.
@@ -323,7 +344,15 @@ func (r *Runner) runWorkload(ctx context.Context, name string, p workloads.Param
 	if err := ctx.Err(); err != nil {
 		return machine.Result{}, err
 	}
-	r.simulations.Add(1)
+	n := r.simulations.Add(1)
+	var cycles int64
+	if r.Opts.Progress != nil {
+		cell := fmt.Sprintf("%s/%s/%s", name, p.Size, mode)
+		r.Opts.Progress(Progress{Cell: cell, Simulations: n})
+		defer func() {
+			r.Opts.Progress(Progress{Cell: cell, Done: true, Cycles: cycles, Simulations: n})
+		}()
+	}
 	cfg := r.Opts.Cfg.Clone()
 	cfg.MaxOps = 0 // budgeting happens in the generators (barrier-safe)
 	if mutate != nil {
@@ -337,7 +366,11 @@ func (r *Runner) runWorkload(ctx context.Context, name string, p workloads.Param
 	if err != nil {
 		return machine.Result{}, err
 	}
-	return m.RunContext(ctx, w.Streams(m))
+	res, err := m.RunContext(ctx, w.Streams(m))
+	if err == nil {
+		cycles = int64(res.Cycles)
+	}
+	return res, err
 }
 
 // runGraphWorkload runs a graph workload on a specific named dataset.

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissAndLRU(t *testing.T) {
+	c := newResultCache(30)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("0123456789")) // 10 bytes
+	c.Put("b", []byte("0123456789"))
+	c.Put("c", []byte("0123456789"))
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("0123456789")) {
+		t.Fatal("a should be cached")
+	}
+	// a is now MRU; inserting d (10 bytes) must evict b, the LRU.
+	c.Put("d", []byte("0123456789"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should still be cached", k)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Bytes != 30 {
+		t.Fatalf("stats entries=%d bytes=%d, want 3/30", st.Entries, st.Bytes)
+	}
+	if st.Evicted != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evicted)
+	}
+}
+
+func TestCacheRefreshSameKey(t *testing.T) {
+	c := newResultCache(100)
+	c.Put("k", []byte("short"))
+	c.Put("k", []byte("a rather longer value"))
+	v, ok := c.Get("k")
+	if !ok || string(v) != "a rather longer value" {
+		t.Fatalf("got %q", v)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != int64(len("a rather longer value")) {
+		t.Fatalf("stats after refresh: %+v", st)
+	}
+}
+
+func TestCacheValueLargerThanBudget(t *testing.T) {
+	c := newResultCache(10)
+	c.Put("big", make([]byte, 100))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("over-budget value should not be retained")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheManyKeysStaysWithinBudget(t *testing.T) {
+	c := newResultCache(1000)
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("k%d", i), make([]byte, 100))
+	}
+	st := c.Stats()
+	if st.Bytes > 1000 {
+		t.Fatalf("cache over budget: %d bytes", st.Bytes)
+	}
+	if st.Entries != 10 {
+		t.Fatalf("entries = %d, want 10", st.Entries)
+	}
+}

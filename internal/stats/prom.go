@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromName converts a registry counter name ("l2.hits", "pmu.to-mem")
+// into a valid Prometheus metric name: every character outside
+// [a-zA-Z0-9_] becomes '_', and a leading digit gains a '_' prefix.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a Registry snapshot in Prometheus text
+// exposition format, one untyped metric per counter, each name prefixed
+// with prefix (itself expected to be a valid metric-name prefix).
+// Output is deterministic: metrics appear in sorted name order.
+func WritePrometheus(w io.Writer, prefix string, snapshot map[string]int64) {
+	names := make([]string, 0, len(snapshot))
+	for n := range snapshot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		metric := prefix + PromName(n)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", metric, metric, snapshot[n])
+	}
+}
+
+// WritePrometheus renders the histogram in Prometheus histogram text
+// format under the given metric name: one cumulative _bucket series per
+// bound plus the +Inf bucket, then _sum and _count.
+func (h *Histogram) WritePrometheus(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.N)
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"l2.hits":     "l2_hits",
+		"pmu.to-mem":  "pmu_to_mem",
+		"plain":       "plain",
+		"0weird":      "_0weird",
+		"a b/c":       "a_b_c",
+		"UPPER.Case9": "UPPER_Case9",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusDeterministicSorted(t *testing.T) {
+	snap := map[string]int64{"b.two": 2, "a.one": 1, "c-three": 3}
+	var first bytes.Buffer
+	WritePrometheus(&first, "pei_", snap)
+	for i := 0; i < 5; i++ {
+		var again bytes.Buffer
+		WritePrometheus(&again, "pei_", snap)
+		if again.String() != first.String() {
+			t.Fatal("output not deterministic across calls")
+		}
+	}
+	out := first.String()
+	wantLines := []string{
+		"# TYPE pei_a_one gauge",
+		"pei_a_one 1",
+		"pei_b_two 2",
+		"pei_c_three 3",
+	}
+	for _, l := range wantLines {
+		if !strings.Contains(out, l) {
+			t.Fatalf("missing line %q in:\n%s", l, out)
+		}
+	}
+	if strings.Index(out, "pei_a_one") > strings.Index(out, "pei_b_two") {
+		t.Fatal("metrics not in sorted order")
+	}
+}
+
+func TestHistogramWritePrometheus(t *testing.T) {
+	h := NewHistogram(10, 100)
+	for _, v := range []int64{5, 7, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "wait_ms")
+	out := buf.String()
+	for _, l := range []string{
+		"# TYPE wait_ms histogram",
+		`wait_ms_bucket{le="10"} 2`,
+		`wait_ms_bucket{le="100"} 3`, // cumulative
+		`wait_ms_bucket{le="+Inf"} 4`,
+		"wait_ms_sum 562",
+		"wait_ms_count 4",
+	} {
+		if !strings.Contains(out, l) {
+			t.Fatalf("missing %q in:\n%s", l, out)
+		}
+	}
+}

@@ -17,12 +17,19 @@ func TestRoundTripAllOpKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// All seven record kinds in one stream, including a PEI carrying the
+	// maximum (255-byte) input payload the u8 length field allows.
+	maxInput := make([]byte, 255)
+	for i := range maxInput {
+		maxInput[i] = byte(i * 7)
+	}
 	barrier := cpu.NewBarrier(2)
 	ops := []cpu.Op{
 		{Kind: cpu.OpCompute, Cycles: 42},
 		{Kind: cpu.OpLoad, Addr: 0x1234},
 		{Kind: cpu.OpStore, Addr: 0x5678},
 		{Kind: cpu.OpPEI, PEI: &pim.PEI{Op: pim.OpMin64, Target: 0x9ABC, Input: pim.U64Input(7)}},
+		{Kind: cpu.OpPEI, PEI: &pim.PEI{Op: pim.OpFloatAdd, Target: 0xDEF0, Input: maxInput}},
 		{Kind: cpu.OpFence},
 		{Kind: cpu.OpBarrier, Barrier: barrier},
 		{Kind: cpu.OpDrain},
@@ -42,10 +49,15 @@ func TestRoundTripAllOpKinds(t *testing.T) {
 	if tr.StoreSize != 1<<20 {
 		t.Fatalf("store size %d", tr.StoreSize)
 	}
-	if len(tr.PerThread[0]) != 7 || len(tr.PerThread[1]) != 1 {
+	if len(tr.PerThread[0]) != 8 || len(tr.PerThread[1]) != 1 {
 		t.Fatalf("per-thread counts %d/%d", len(tr.PerThread[0]), len(tr.PerThread[1]))
 	}
 	got := tr.PerThread[0]
+	for i, op := range ops {
+		if got[i].Kind != op.Kind {
+			t.Fatalf("op %d kind %d, want %d", i, got[i].Kind, op.Kind)
+		}
+	}
 	if got[0].Cycles != 42 || got[1].Addr != 0x1234 || got[2].Addr != 0x5678 {
 		t.Fatalf("scalar ops wrong: %+v", got[:3])
 	}
@@ -53,8 +65,49 @@ func TestRoundTripAllOpKinds(t *testing.T) {
 	if p.Op != pim.OpMin64 || p.Target != 0x9ABC || len(p.Input) != 8 {
 		t.Fatalf("PEI wrong: %+v", p)
 	}
-	if got[5].Barrier == nil || got[5].Barrier != tr.PerThread[1][0].Barrier {
+	big := got[4].PEI
+	if big.Op != pim.OpFloatAdd || big.Target != 0xDEF0 || !bytes.Equal(big.Input, maxInput) {
+		t.Fatalf("max-payload PEI not preserved: op %v target %#x len %d", big.Op, big.Target, len(big.Input))
+	}
+	if got[6].Barrier == nil || got[6].Barrier != tr.PerThread[1][0].Barrier {
 		t.Fatal("barrier identity not preserved across threads")
+	}
+}
+
+func TestReadTruncatedFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Record(0, cpu.Op{Kind: cpu.OpCompute, Cycles: 10})
+	w.Record(0, cpu.Op{Kind: cpu.OpPEI, PEI: &pim.PEI{Op: pim.OpInc64, Target: 64, Input: make([]byte, 255)}})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Every strict prefix that cuts into a record (header, record
+	// preamble, payload, or the 255-byte PEI input) must error rather
+	// than silently yield a short trace. Record boundaries — where a
+	// truncated file is indistinguishable from a complete one — are the
+	// only prefixes allowed to parse.
+	recordStarts := map[int]bool{len(full): true}
+	const headerLen = 8 + 12
+	computeEnd := headerLen + 6
+	recordStarts[headerLen] = true
+	recordStarts[computeEnd] = true
+	for cut := 0; cut < len(full); cut++ {
+		_, err := Read(bytes.NewReader(full[:cut]))
+		if recordStarts[cut] {
+			if err != nil {
+				t.Fatalf("cut at record boundary %d should parse: %v", cut, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d not detected", cut, len(full))
+		}
 	}
 }
 
