@@ -1,0 +1,168 @@
+// peilint is the project's static-analysis gate: it enforces the
+// simulator's determinism and hot-path invariants (see DESIGN.md §10).
+//
+// Usage:
+//
+//	go run ./cmd/peilint ./...        # whole module (what CI runs)
+//	go run ./cmd/peilint ./internal/sim ./internal/cache/...
+//	go run ./cmd/peilint -list        # describe the analyzers
+//
+// Each finding prints as "file:line:col: analyzer: message"; the exit
+// status is 1 if anything was reported. Deliberate exceptions carry
+// `//peilint:allow <analyzer> <reason>` directives, themselves
+// validated by the waiver analyzer.
+//
+// The binary is standard-library only and works offline: module-local
+// packages are type-checked from source and the standard library is
+// imported through go/importer's source importer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pimsim/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "describe the analyzers and exit")
+	verbose := flag.Bool("v", false, "log each package as it is analyzed")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: peilint [-list] [-v] [packages]\n\npackages are ./dir or ./dir/... patterns; default ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listFlag {
+		for _, a := range lint.Analyzers() {
+			scope := "all packages"
+			if a.Packages != nil {
+				scope = strings.Join(a.Packages, ", ")
+			}
+			fmt.Printf("%-12s %s\n%-12s scope: %s\n\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loadPatterns(loader, root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		rel := pkg.RelPath(loader.ModulePath)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "peilint: %s\n", pkg.ImportPath)
+		}
+		for _, a := range lint.Analyzers() {
+			if !a.AppliesTo(rel) {
+				continue
+			}
+			ds, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				fatal(err)
+			}
+			diags = append(diags, ds...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := d.Pos
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "peilint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "peilint: %v\n", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// loadPatterns resolves ./dir and ./dir/... patterns (relative to the
+// module root) into loaded packages, deduplicating by import path.
+func loadPatterns(loader *lint.Loader, root string, patterns []string) ([]*lint.Package, error) {
+	seen := make(map[string]bool)
+	var out []*lint.Package
+	add := func(ps ...*lint.Package) {
+		for _, p := range ps {
+			if !seen[p.ImportPath] {
+				seen[p.ImportPath] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." || pat == "./" {
+			pat = ""
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		dir := filepath.Join(root, filepath.FromSlash(pat))
+		if recursive {
+			ps, err := loader.LoadUnder(dir)
+			if err != nil {
+				return nil, err
+			}
+			add(ps...)
+			continue
+		}
+		importPath := loader.ModulePath
+		if pat != "" {
+			importPath = loader.ModulePath + "/" + filepath.ToSlash(pat)
+		}
+		p, err := loader.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		add(p)
+	}
+	return out, nil
+}

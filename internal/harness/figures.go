@@ -215,8 +215,9 @@ func (r *Runner) Fig9(ctx context.Context) (*Table, error) {
 	}
 	sizes := []workloads.Size{workloads.Small, workloads.Medium, workloads.Large}
 	// The mixes are drawn serially before fan-out so the RNG sequence —
-	// and therefore the mix list — is identical at any parallelism.
-	rng := rand.New(rand.NewSource(12345))
+	// and therefore the mix list — is identical at any parallelism. The
+	// seed lives in the run configuration (Options.MixSeed), not here.
+	rng := rand.New(rand.NewSource(r.Opts.MixSeed))
 	type mixSpec struct {
 		w1, w2 string
 		s1, s2 workloads.Size

@@ -1,0 +1,126 @@
+// An analysistest-style golden runner: testdata packages annotate the
+// lines an analyzer must flag with trailing `// want "regexp"` comments
+// (several per line allowed), and AnalyzerTest fails on any missing or
+// unexpected diagnostic. Lines carrying a valid //peilint:allow
+// directive have no want comment — the test passes only if suppression
+// actually works, which is what pins the waiver mechanism itself.
+
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the quoted patterns of a want comment; both
+// double-quoted and backtick-quoted forms are accepted, backticks being
+// the friendlier choice for patterns containing escapes.
+var wantRe = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// AnalyzerTest loads the package in testdata/src/<pkgdir> (relative to
+// the caller's directory), runs the analyzer on it, and checks its
+// diagnostics against the `// want` expectations in the source.
+func AnalyzerTest(t *testing.T, a *Analyzer, pkgdir string) {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	dir := filepath.Join("testdata", "src", pkgdir)
+	pkg, err := loader.LoadDir(dir, "peilinttest/"+pkgdir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkgdir, err)
+	}
+
+	expects, err := parseExpectations(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// moduleRoot finds the enclosing module root from the test's working
+// directory (the package directory under `go test`).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above test directory")
+		}
+		dir = parent
+	}
+}
+
+func parseExpectations(pkg *Package) ([]*expectation, error) {
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRe.FindAllStringSubmatch(c.Text[idx:], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat := q[1]
+					if pat == "" {
+						pat = q[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return expects, nil
+}

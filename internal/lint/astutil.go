@@ -1,0 +1,107 @@
+// Shared AST/type helpers for the analyzers.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// funcFor resolves the *types.Func a call or selector expression refers
+// to, or nil. It sees through parenthesization and handles both plain
+// identifiers (pkg-local calls, dot imports) and selector expressions
+// (pkg.Fn, recv.Method).
+func funcFor(info *types.Info, expr ast.Expr) *types.Func {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[e].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[e.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is a package-level function (not a
+// method) of the package with the given import path.
+func isPkgFunc(f *types.Func, pkgPath string) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// methodRecvNamed returns the named type of f's receiver (through a
+// pointer), or nil if f is not a method.
+func methodRecvNamed(f *types.Func) *types.Named {
+	if f == nil {
+		return nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isContextContext reports whether t is context.Context.
+func isContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isPanicCall reports whether the call is to the predeclared panic.
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// panicArgSpans collects the source ranges of every argument to a
+// panic() call in the file. Allocations whose only evaluation happens
+// while constructing a panic value are off the hot path by definition
+// (the simulation is already dead), so analyzers exempt these spans.
+type panicArgSpans []span
+
+type span struct{ lo, hi token.Pos }
+
+func collectPanicArgSpans(info *types.Info, file *ast.File) panicArgSpans {
+	var spans panicArgSpans
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPanicCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			spans = append(spans, span{arg.Pos(), arg.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+func (ps panicArgSpans) contains(n ast.Node) bool {
+	for _, s := range ps {
+		if n.Pos() >= s.lo && n.End() <= s.hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+// The hotalloc analyzer: the calendar-queue kernel is zero-allocation
+// in steady state (pinned by testing.AllocsPerRun in the sim package's
+// tests), and every simulator event funnels through it. This analyzer
+// rejects the three easy ways to reintroduce a per-event allocation:
+// formatted strings, string concatenation, and capturing closures.
+//
+// Panic arguments are exempt — a formatted panic message allocates only
+// on the way down, when the simulation is already dead — and so are
+// New* constructors, which run once at machine-build time rather than
+// per event.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// allocatingFmtFuncs are fmt package functions that build and return a
+// string (or error) — one heap allocation each.
+var allocatingFmtFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Errorf":   true,
+	"Appendf":  true,
+}
+
+// HotAlloc flags per-event allocations inside the event-kernel package.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "inside internal/sim's per-event code, forbid fmt string " +
+		"building, non-constant string concatenation, and closures that " +
+		"capture variables — each is a heap allocation per event; panic " +
+		"arguments and New* constructors are exempt",
+	Packages: []string{"internal/sim"},
+	Run:      runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		panicSpans := collectPanicArgSpans(pass.Info, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "New") {
+				continue // construction time, not per event
+			}
+			checkHotFunc(pass, fd, panicSpans)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, panicSpans panicArgSpans) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if panicSpans.contains(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			f := funcFor(pass.Info, n.Fun)
+			if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" && allocatingFmtFuncs[f.Name()] {
+				pass.Reportf(n.Pos(),
+					"fmt.%s allocates a string per event: precompute the message or move formatting off the hot path",
+					f.Name())
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstantString(pass, n) {
+				pass.Reportf(n.Pos(),
+					"string concatenation allocates per event: intern the string at construction time")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if t := pass.Info.TypeOf(n.Lhs[0]); t != nil && isStringType(t) {
+					pass.Reportf(n.Pos(),
+						"string += allocates per event: intern the string at construction time")
+				}
+			}
+		case *ast.FuncLit:
+			if captured := capturedVars(pass, n); len(captured) > 0 {
+				pass.Reportf(n.Pos(),
+					"closure captures %s and therefore allocates per event: hoist the closure to construction time or pass state explicitly",
+					strings.Join(captured, ", "))
+				return false // don't re-report nested literals' shared captures
+			}
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isNonConstantString reports whether the expression is a string
+// concatenation the compiler cannot fold (at least one operand is not
+// a constant).
+func isNonConstantString(pass *Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || !isStringType(tv.Type) {
+		return false
+	}
+	return tv.Value == nil // constant-folded concatenations carry a value
+}
+
+// capturedVars returns the sorted names of variables the function
+// literal references but does not declare — the captures that force the
+// closure onto the heap.
+func capturedVars(pass *Pass, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() == pass.Pkg.Scope() || v.Parent() == types.Universe {
+			return true
+		}
+		// Declared inside the literal (params, results, locals)?
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,239 @@
+// Package lint is the project's static-analysis suite: four analyzers
+// that turn the simulator's determinism and hot-path invariants (byte-
+// identical tables at any parallelism, zero-allocation event kernel,
+// context-first public entry points) into machine-checked law, plus the
+// waiver directive that documents every deliberate exception.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis
+// API shape — Analyzer, Pass, Diagnostic, and an analysistest-style
+// golden runner — but is built on the standard library alone: the build
+// environment vendors no third-party modules, so the module stays
+// dependency-free and `go run ./cmd/peilint ./...` works offline.
+// Porting an analyzer here to a real go/analysis multichecker is a
+// mechanical rename.
+//
+// # Waivers
+//
+//	//peilint:allow <analyzer> <reason>
+//
+// suppresses that analyzer's diagnostics on the directive's own line
+// (trailing-comment form) and on the statement below a standalone
+// directive; a contiguous block of standalone directives stacks, so one
+// statement can waive several analyzers. The analyzer name must be one
+// of the registered analyzers and the reason must be non-empty; the
+// `waiver` meta-analyzer reports malformed directives so a typo cannot
+// silently disable enforcement.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //peilint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why.
+	Doc string
+	// Packages lists module-relative import paths ("internal/sim",
+	// "pei") the analyzer applies to; a nil slice means every package.
+	// The driver consults this — Run itself analyzes whatever package
+	// it is handed, which is what lets analysistest feed it testdata
+	// packages outside the production scope.
+	Packages []string
+	// Run performs the check, reporting findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether the analyzer's package scope covers the
+// given module-relative package path (exact match or subdirectory).
+func (a *Analyzer) AppliesTo(relPath string) bool {
+	if a.Packages == nil {
+		return true
+	}
+	for _, p := range a.Packages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// A Diagnostic is a single finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	waivers waiverSet
+	diags   []Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a matching
+// //peilint:allow directive waives it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	// The waiver validator is not itself waivable — otherwise
+	// `//peilint:allow waiver ...` could suppress its own diagnostic.
+	if p.Analyzer.Name != waiverAnalyzerName && p.waivers.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// waiver is one parsed //peilint:allow directive.
+type waiver struct {
+	pos      token.Pos
+	analyzer string // "" when the directive is malformed
+	reason   string
+}
+
+// waiverSet indexes waivers by file and line.
+type waiverSet map[string]map[int]waiver
+
+// covers reports whether a well-formed waiver for the named analyzer
+// covers the position: as a trailing comment on the flagged line, or
+// anywhere in the contiguous block of directive lines directly above it
+// (so several analyzers can be waived for one statement by stacking
+// directives). Malformed waivers never suppress anything.
+func (ws waiverSet) covers(analyzer string, pos token.Position) bool {
+	lines := ws[pos.Filename]
+	match := func(w waiver, ok bool) bool {
+		return ok && w.analyzer == analyzer && w.reason != ""
+	}
+	if w, ok := lines[pos.Line]; match(w, ok) {
+		return true
+	}
+	for line := pos.Line - 1; ; line-- {
+		w, ok := lines[line]
+		if !ok {
+			return false
+		}
+		if match(w, ok) {
+			return true
+		}
+	}
+}
+
+const waiverPrefix = "//peilint:allow"
+
+// parseWaivers extracts every //peilint:allow directive from the files,
+// keeping malformed ones (with analyzer/reason left empty) so the
+// waiver analyzer can report them.
+func parseWaivers(fset *token.FileSet, files []*ast.File) waiverSet {
+	ws := make(waiverSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				// Require a separator so "//peilint:allowx" is not a directive.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				// A line comment swallows everything to end of line, so an
+				// analysistest `// want` expectation sharing the line would
+				// otherwise read as part of the reason.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				w := waiver{pos: c.Pos()}
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					w.analyzer = fields[0]
+					w.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+				}
+				if ws[pos.Filename] == nil {
+					ws[pos.Filename] = make(map[int]waiver)
+				}
+				ws[pos.Filename][pos.Line] = w
+			}
+		}
+	}
+	return ws
+}
+
+// RunAnalyzer applies one analyzer to a loaded package and returns its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		waivers:  parseWaivers(pkg.Fset, pkg.Files),
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	sortDiagnostics(pass.diags)
+	return pass.diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Analyzers returns the full suite in a stable order: the four
+// invariant analyzers plus the waiver validator.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		SimDeterm,
+		StatsHandle,
+		CtxFirst,
+		HotAlloc,
+		Waiver,
+	}
+}
+
+// waiverAnalyzerName is the waiver validator's name, used where
+// referring to the Waiver variable itself would create an
+// initialization cycle through Reportf.
+const waiverAnalyzerName = "waiver"
+
+// analyzerNames returns the names waivable by //peilint:allow (every
+// analyzer except the waiver validator itself, which is deliberately
+// omitted — and not referenced via Analyzers() to avoid an
+// initialization cycle back into the Waiver variable).
+func analyzerNames() []string {
+	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name}
+}

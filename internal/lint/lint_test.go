@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The golden suites: each analyzer must catch its seeded violations and
+// accept its waived lines (the testdata has no want comment on waived
+// lines, so these tests fail unless suppression works).
+
+func TestSimDeterm(t *testing.T)   { AnalyzerTest(t, SimDeterm, "simdeterm") }
+func TestStatsHandle(t *testing.T) { AnalyzerTest(t, StatsHandle, "statshandle") }
+func TestCtxFirst(t *testing.T)    { AnalyzerTest(t, CtxFirst, "ctxfirst") }
+func TestHotAlloc(t *testing.T)    { AnalyzerTest(t, HotAlloc, "hotalloc") }
+
+// TestWaiverValidation covers the waiver mechanism itself: a directive
+// with a typo'd analyzer name, a missing reason, or no arguments at all
+// is reported, while a well-formed directive is accepted.
+func TestWaiverValidation(t *testing.T) { AnalyzerTest(t, Waiver, "waiverbad") }
+
+// TestMalformedWaiverDoesNotSuppress pins the fail-closed property: the
+// malformed directives in the waiverbad package must NOT suppress the
+// simdeterm findings on their lines.
+func TestMalformedWaiverDoesNotSuppress(t *testing.T) {
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("testdata/src/waiverbad", "peilinttest/waiverbad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzer(SimDeterm, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four time.Now sites; exactly one (the valid directive) is waived.
+	if len(diags) != 3 {
+		t.Fatalf("got %d simdeterm diagnostics, want 3 (malformed waivers must not suppress):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "time.Now") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestAnalyzerScope pins each analyzer's package perimeter: the driver
+// must apply simdeterm to every simulator package (including the serve
+// layer) and must not apply hotalloc outside the event kernel.
+func TestAnalyzerScope(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		rel      string
+		want     bool
+	}{
+		{SimDeterm, "internal/sim", true},
+		{SimDeterm, "internal/workloads", true},
+		{SimDeterm, "internal/serve", true},
+		{SimDeterm, "internal/harness", false},
+		{SimDeterm, "cmd/peibench", false},
+		{StatsHandle, "internal/cache", true},
+		{StatsHandle, "internal/stats", false}, // the registry itself
+		{StatsHandle, "internal/serve", false}, // mutex-bound service metrics
+		{CtxFirst, "pei", true},
+		{CtxFirst, "internal/serve", true},
+		{CtxFirst, "internal/workloads", false},
+		{HotAlloc, "internal/sim", true},
+		{HotAlloc, "internal/cache", false},
+		{Waiver, "internal/graph", true}, // waiver validates everywhere
+		{Waiver, "cmd/peilint", true},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.rel); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.rel, got, c.want)
+		}
+	}
+}
+
+// TestSuiteCleanOnTree runs the full suite over the repository's own
+// simulator packages and requires zero findings — the same gate CI
+// enforces via `go run ./cmd/peilint ./...`, pinned here so `go test`
+// alone catches a regression.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loader found only %d packages; expected the whole module", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		rel := pkg.RelPath(loader.ModulePath)
+		for _, a := range Analyzers() {
+			if !a.AppliesTo(rel) {
+				continue
+			}
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// The statshandle analyzer: per-event code must not pay a string hash
+// per counter update. PR 2 introduced stats.Handle — an interned index
+// into the registry's flat value array — precisely so Tick/Step/
+// Schedule trees bump integers, not map entries. This analyzer keeps
+// the string-keyed convenience methods out of those trees.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotRoots are the method/function names whose call trees are per-event
+// hot paths.
+var hotRoots = map[string]bool{
+	"Tick":     true,
+	"Step":     true,
+	"Schedule": true,
+}
+
+// stringKeyedRegistryMethods are the stats.Registry methods that take a
+// counter name and hash it per call.
+var stringKeyedRegistryMethods = map[string]bool{
+	"Add": true,
+	"Inc": true,
+	"Get": true,
+	"Set": true,
+}
+
+// StatsHandle flags string-keyed stats.Registry calls inside hot call
+// trees. Scope excludes internal/stats itself (the registry's own
+// implementation) and internal/serve (service metrics are mutex-bound,
+// not per-event).
+var StatsHandle = &Analyzer{
+	Name: "statshandle",
+	Doc: "inside Tick/Step/Schedule call trees, stats must go through " +
+		"pre-resolved stats.Handle counters (Registry.Counter at construction " +
+		"time), not string-keyed Registry.Add/Inc/Get/Set",
+	Packages: []string{
+		"internal/sim",
+		"internal/cache",
+		"internal/dram",
+		"internal/hmc",
+		"internal/pim",
+		"internal/cpu",
+		"internal/vm",
+		"internal/machine",
+		"internal/memlayout",
+		"internal/workloads",
+	},
+	Run: runStatsHandle,
+}
+
+func runStatsHandle(pass *Pass) error {
+	// Map every package-local function/method to its declaration.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[f] = fd
+			}
+		}
+	}
+
+	// Static package-local call graph.
+	callees := make(map[*types.Func][]*types.Func)
+	for f, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := funcFor(pass.Info, call.Fun); callee != nil {
+				if _, local := decls[callee]; local {
+					callees[f] = append(callees[f], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// BFS from the hot roots through package-local edges.
+	hot := make(map[*types.Func]string) // func -> root that reaches it
+	var queue []*types.Func
+	for f := range decls {
+		if hotRoots[f.Name()] {
+			hot[f] = f.Name()
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, callee := range callees[f] {
+			if _, seen := hot[callee]; !seen {
+				hot[callee] = hot[f]
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for f, root := range hot {
+		fd := decls[f]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcFor(pass.Info, call.Fun)
+			if callee == nil || !stringKeyedRegistryMethods[callee.Name()] {
+				return true
+			}
+			named := methodRecvNamed(callee)
+			if named == nil {
+				return true
+			}
+			obj := named.Obj()
+			if obj == nil || obj.Name() != "Registry" || obj.Pkg() == nil || obj.Pkg().Name() != "stats" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"string-keyed stats.Registry.%s in %s's call tree (via %s): resolve a stats.Handle with Registry.Counter at construction time and update through it",
+				callee.Name(), root, f.Name())
+			return true
+		})
+	}
+	return nil
+}

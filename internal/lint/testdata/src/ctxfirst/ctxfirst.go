@@ -1,0 +1,50 @@
+// Seeded violations and accepted patterns for the ctxfirst analyzer.
+package ctxfirst
+
+import "context"
+
+// Sim is an exported type with Run entry points.
+type Sim struct{}
+
+// RunAll lacks a context: flagged.
+func RunAll(n int) int { // want `exported RunAll does not take a context.Context first parameter`
+	return n
+}
+
+// RunAllContext is the compliant variant.
+func RunAllContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Run on an exported receiver without a context: flagged.
+func (s *Sim) Run() error { // want `exported Run does not take a context.Context first parameter`
+	return nil
+}
+
+// RunContext is compliant.
+func (s *Sim) RunContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// RunLegacy is a documented compat wrapper: waived.
+//
+//peilint:allow ctxfirst compat wrapper; delegates to RunAllContext
+func RunLegacy(n int) int {
+	return RunAllContext(context.Background(), n)
+}
+
+// runHelper is unexported: out of scope.
+func runHelper(n int) int { return n }
+
+// sim is unexported; its Run method is not a public entry point.
+type sim struct{}
+
+func (s *sim) Run() error { return nil }
+
+// Runtime does not have a context but also is not long-running; the
+// Run* prefix still catches it — the analyzer is deliberately blunt, a
+// waiver documents the exception.
+//
+//peilint:allow ctxfirst accessor, returns immediately
+func (s *Sim) Runtime() int { return runHelper(0) }

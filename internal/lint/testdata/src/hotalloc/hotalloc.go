@@ -1,0 +1,57 @@
+// Seeded violations and accepted patterns for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+// Queue is a mock event kernel.
+type Queue struct {
+	name string
+	fns  []func()
+}
+
+// NewQueue is construction time: formatting is allowed here.
+func NewQueue(id int) *Queue {
+	return &Queue{name: fmt.Sprintf("queue-%d", id)}
+}
+
+func (q *Queue) label(event int) string {
+	return fmt.Sprintf("%s/%d", q.name, event) // want `fmt.Sprintf allocates a string per event`
+}
+
+func (q *Queue) concat(suffix string) string {
+	return q.name + suffix // want `string concatenation allocates per event`
+}
+
+func (q *Queue) accumulate(suffix string) {
+	q.name += suffix // want `string \+= allocates per event`
+}
+
+func (q *Queue) constConcat() string {
+	const a, b = "queue", "-static"
+	return a + b // compile-time constant: allowed
+}
+
+func (q *Queue) push(event int) {
+	q.fns = append(q.fns, func() { // want `closure captures event, q and therefore allocates per event`
+		q.consume(event)
+	})
+}
+
+func (q *Queue) pushStatic() {
+	q.fns = append(q.fns, func() {}) // capture-free literal: allowed
+}
+
+func (q *Queue) guard(delay int) {
+	if delay < 0 {
+		// Panic arguments only allocate on the way down: allowed.
+		panic(fmt.Sprintf("hotalloc: negative delay %d", delay))
+	}
+}
+
+func (q *Queue) waived(event int) string {
+	return fmt.Sprintf("%s/%d", q.name, event) //peilint:allow hotalloc debug-only path behind verbose flag
+}
+
+func (q *Queue) consume(event int) {
+	q.guard(event)
+}

@@ -1,0 +1,91 @@
+// Seeded violations and accepted patterns for the simdeterm analyzer.
+package simdeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Clock exercises the wall-clock checks.
+type Clock struct {
+	now func() time.Time
+}
+
+func wallClock() int64 {
+	t := time.Now()    // want `time.Now in simulator code`
+	d := time.Since(t) // want `time.Since in simulator code`
+	return t.UnixNano() + int64(d)
+}
+
+func injectClock(c *Clock) {
+	// A value reference (not a call) must be caught too.
+	c.now = time.Now // want `time.Now in simulator code`
+}
+
+func waivedClock(c *Clock) {
+	c.now = time.Now //peilint:allow simdeterm injectable clock default; tests override
+}
+
+func globalRNG(n int) int {
+	return rand.Intn(n) // want `seedless global RNG`
+}
+
+func globalPerm(n int) []int {
+	//peilint:allow simdeterm demo of a waived global draw
+	p := rand.Perm(n)
+	return p
+}
+
+func seededRNG(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+	return rng.Intn(n)
+}
+
+func mapOrderLeaks(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over a map has nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // append-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapBuild(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src { // commutative map build: allowed
+		dst[k] = v
+	}
+	return dst
+}
+
+func commutativeSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative fold: allowed
+		total += v
+	}
+	return total
+}
+
+func waivedMapRange(m map[string]func()) {
+	//peilint:allow simdeterm callbacks are order-independent by contract
+	for _, fn := range m {
+		fn()
+	}
+}
+
+func stackedWaivers(c *Clock) {
+	// Directives stack: a contiguous block above the statement waives
+	// several analyzers at once.
+	//peilint:allow simdeterm reached through the directive below it
+	//peilint:allow hotalloc exercise for the stacked-directive block
+	c.now = time.Now
+}

@@ -1,0 +1,44 @@
+// Seeded violations and accepted patterns for the statshandle analyzer.
+package statshandle
+
+import "pimsim/internal/stats"
+
+// Core is a mock per-event component.
+type Core struct {
+	reg  *stats.Registry
+	hits stats.Handle
+}
+
+// New resolves handles at construction time — the pattern the analyzer
+// steers authors toward.
+func New(reg *stats.Registry) *Core {
+	return &Core{reg: reg, hits: reg.Counter("core.hits")}
+}
+
+// Tick is a hot root: direct string-keyed calls are flagged.
+func (c *Core) Tick() {
+	c.hits.Inc()            // handle update: allowed
+	c.reg.Inc("core.ticks") // want `string-keyed stats.Registry.Inc in Tick's call tree`
+	c.bump()
+}
+
+// bump is reachable from Tick, so the string-keyed call inside it is
+// flagged transitively.
+func (c *Core) bump() {
+	c.reg.Add("core.bumps", 1) // want `string-keyed stats.Registry.Add in Tick's call tree \(via bump\)`
+}
+
+// Step is a hot root too; reads are as banned as writes.
+func (c *Core) Step() int64 {
+	return c.reg.Get("core.hits") // want `string-keyed stats.Registry.Get in Step's call tree`
+}
+
+// Schedule with a deliberate, documented exception.
+func (c *Core) Schedule(delay int64) {
+	c.reg.Set("core.last_delay", delay) //peilint:allow statshandle one write per schedule tracepoint, measured irrelevant
+}
+
+// Summary is a cold path: string-keyed reads are fine here.
+func (c *Core) Summary() int64 {
+	return c.reg.Get("core.hits") + c.reg.Get("core.bumps")
+}

@@ -1,0 +1,21 @@
+// Malformed //peilint:allow directives the waiver analyzer must report,
+// plus a valid one it must accept.
+package waiverbad
+
+import "time"
+
+func clock() time.Time {
+	return time.Now() //peilint:allow simdeterm injectable clock used by tests only
+}
+
+func badAnalyzer() time.Time {
+	return time.Now() //peilint:allow simdetrem typo'd analyzer name // want `peilint:allow names unknown analyzer "simdetrem"`
+}
+
+func missingReason() time.Time {
+	return time.Now() //peilint:allow simdeterm // want `peilint:allow simdeterm is missing a reason`
+}
+
+func emptyDirective() time.Time {
+	return time.Now() //peilint:allow // want `peilint:allow needs an analyzer name and a reason`
+}

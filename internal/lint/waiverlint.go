@@ -1,0 +1,47 @@
+// The waiver analyzer: //peilint:allow is how deliberate exceptions are
+// documented, so a malformed directive must itself be an error — a
+// typo'd analyzer name or a missing reason would otherwise either
+// silently fail to waive (noise) or silently waive forever (worse).
+
+package lint
+
+import (
+	"strings"
+)
+
+// Waiver validates //peilint:allow directives in every package. It is
+// not itself waivable.
+var Waiver = &Analyzer{
+	Name: "waiver",
+	Doc: "every //peilint:allow directive must name a known analyzer and " +
+		"give a non-empty reason",
+	Packages: nil, // all packages
+	Run:      runWaiver,
+}
+
+func runWaiver(pass *Pass) error {
+	known := analyzerNames()
+	knownSet := make(map[string]bool, len(known))
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	for _, lines := range parseWaivers(pass.Fset, pass.Files) {
+		for _, w := range lines {
+			switch {
+			case w.analyzer == "":
+				pass.Reportf(w.pos,
+					"peilint:allow needs an analyzer name and a reason: //peilint:allow <%s> <reason>",
+					strings.Join(known, "|"))
+			case !knownSet[w.analyzer]:
+				pass.Reportf(w.pos,
+					"peilint:allow names unknown analyzer %q (known: %s)",
+					w.analyzer, strings.Join(known, ", "))
+			case w.reason == "":
+				pass.Reportf(w.pos,
+					"peilint:allow %s is missing a reason: a waiver must say why the invariant does not apply",
+					w.analyzer)
+			}
+		}
+	}
+	return nil
+}

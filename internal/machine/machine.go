@@ -125,6 +125,8 @@ func (r Result) PIMFraction() float64 {
 // Run executes one stream per core (stream i on core i; nil streams
 // leave the core idle) and drives the simulation until every stream
 // completes. It may be called once per Machine.
+//
+//peilint:allow ctxfirst compat wrapper; delegates to RunContext with context.Background
 func (m *Machine) Run(streams []cpu.Stream) (Result, error) {
 	return m.RunContext(context.Background(), streams)
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"io"
+	"sort"
 	"sync"
 
 	"pimsim/internal/stats"
@@ -59,9 +60,18 @@ func (m *metrics) observeQueueWait(ms int64) {
 // (after merging in the caller-supplied point-in-time gauges) plus the
 // queue-wait histogram.
 func (m *metrics) write(w io.Writer, gauges map[string]int64) {
+	// Merge gauges in sorted key order: Registry.Set interns names on
+	// first use, so iterating the map directly would make the registry's
+	// intern order (and therefore Names()/Handle indices) depend on map
+	// iteration order and differ between runs.
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	m.mu.Lock()
-	for name, v := range gauges {
-		m.reg.Set(name, v)
+	for _, n := range names {
+		m.reg.Set(n, gauges[n])
 	}
 	snap := m.reg.Snapshot()
 	hist := *m.queueWait

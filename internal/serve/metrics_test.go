@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestMetricsWriteDeterministic pins the sorted-key gauge merge in
+// metrics.write: the exposition must be byte-identical across fresh
+// instances and repeated calls, and — the part map iteration used to
+// leave to chance — the registry's intern order must not depend on the
+// gauges map's iteration order. peilint's simdeterm analyzer flags the
+// direct map range this replaced; this test keeps the fix honest.
+func TestMetricsWriteDeterministic(t *testing.T) {
+	gauges := make(map[string]int64)
+	for i := 0; i < 32; i++ {
+		gauges[fmt.Sprintf("g.%02d", i)] = int64(i * 7)
+	}
+
+	var want []byte
+	for trial := 0; trial < 50; trial++ {
+		m := newMetrics()
+		m.add("jobs.completed", 3)
+		m.observeQueueWait(42)
+		var buf bytes.Buffer
+		m.write(&buf, gauges)
+
+		if got := m.reg.Get("g.05"); got != 35 {
+			t.Fatalf("trial %d: gauge g.05 = %d, want 35 (merge lost a key)", trial, got)
+		}
+
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("trial %d: /metrics exposition differs between identical fresh instances:\n--- first\n%s\n--- now\n%s",
+				trial, want, buf.Bytes())
+		}
+	}
+
+	// Repeated writes on one instance must be stable too (gauges are
+	// Set, not accumulated).
+	m := newMetrics()
+	var first, second bytes.Buffer
+	m.write(&first, gauges)
+	m.write(&second, gauges)
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("repeated write on one instance differs:\n--- first\n%s\n--- second\n%s", &first, &second)
+	}
+}

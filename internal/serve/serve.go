@@ -60,7 +60,7 @@ func (o Options) withDefaults() Options {
 		o.Logf = log.Printf
 	}
 	if o.now == nil {
-		o.now = time.Now
+		o.now = time.Now //peilint:allow simdeterm injectable wall clock for job timestamps; tests override Options.now
 	}
 	if o.runJob == nil {
 		o.runJob = pei.RunJob
@@ -532,6 +532,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var queued, running int64
 	s.mu.Lock()
+	//peilint:allow simdeterm commutative count of job states; no iteration order escapes
 	for _, j := range s.jobs {
 		j.mu.Lock()
 		switch j.state {

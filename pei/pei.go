@@ -112,6 +112,8 @@ func (s *System) ReadF64(a uint64) float64     { return s.M.Store.ReadF64(a) }
 func (s *System) WriteF64(a uint64, v float64) { s.M.Store.WriteF64(a, v) }
 
 // Run executes the given streams, one per core, to completion.
+//
+//peilint:allow ctxfirst compat wrapper; delegates to RunContext with context.Background
 func (s *System) Run(streams ...Stream) (Result, error) {
 	return s.RunContext(context.Background(), streams...)
 }
@@ -202,6 +204,8 @@ type WorkloadParams = workloads.Params
 
 // RunWorkload builds a machine, runs one of the paper's ten workloads on
 // it, optionally verifies functional results, and returns the result.
+//
+//peilint:allow ctxfirst compat wrapper; delegates to RunWorkloadContext with context.Background
 func RunWorkload(cfg *Config, mode Mode, name string, p WorkloadParams, verify bool) (Result, error) {
 	return RunWorkloadContext(context.Background(), cfg, mode, name, p, verify)
 }
