@@ -187,6 +187,30 @@ func BenchmarkKernelEvents(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkKernelEventsHandler is the same event chain driven through
+// the allocation-free handler API (ScheduleEvent with a typed handler
+// instead of a closure); CI pins its allocs/op at zero.
+func BenchmarkKernelEventsHandler(b *testing.B) {
+	k := sim.NewKernel()
+	h := &chainTick{k: k, limit: int64(b.N)}
+	b.ResetTimer()
+	k.ScheduleEvent(1, h, sim.EventArg{})
+	k.Run()
+}
+
+type chainTick struct {
+	k     *sim.Kernel
+	n     int64
+	limit int64
+}
+
+func (t *chainTick) OnEvent(sim.EventArg) {
+	t.n++
+	if t.n < t.limit {
+		t.k.ScheduleEvent(1, t, sim.EventArg{})
+	}
+}
+
 // BenchmarkHierarchyAccess measures one cache access through the full
 // coherent hierarchy (mixed hits and misses).
 func BenchmarkHierarchyAccess(b *testing.B) {

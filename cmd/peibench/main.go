@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,18 +37,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: "+strings.Join(pei.Experiments(), "|"))
-		scale    = flag.Int("scale", 64, "input scale divisor (1 = paper-size inputs)")
-		budget   = flag.Int64("budget", 60000, "per-thread op budget (0 = run to completion)")
-		pairs    = flag.Int("pairs", 40, "multiprogrammed mixes for fig9 (paper: 200)")
-		full     = flag.Bool("full", false, "use the full Table 2 machine")
-		only     = flag.String("workloads", "", "comma-separated workload subset (default all)")
-		out      = flag.String("out", "", "write tables to this file as well as stdout")
-		parallel = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
-		list     = flag.Bool("list", false, "list experiment names and exit")
-		verbose  = flag.Bool("v", false, "log per-run progress")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp       = flag.String("exp", "all", "experiment: "+strings.Join(pei.Experiments(), "|"))
+		scale     = flag.Int("scale", 64, "input scale divisor (1 = paper-size inputs)")
+		budget    = flag.Int64("budget", 60000, "per-thread op budget (0 = run to completion)")
+		pairs     = flag.Int("pairs", 40, "multiprogrammed mixes for fig9 (paper: 200)")
+		full      = flag.Bool("full", false, "use the full Table 2 machine")
+		only      = flag.String("workloads", "", "comma-separated workload subset (default all)")
+		out       = flag.String("out", "", "write tables to this file as well as stdout")
+		parallel  = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		list      = flag.Bool("list", false, "list experiment names and exit")
+		verbose   = flag.Bool("v", false, "log per-run progress")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON = flag.String("benchjson", "",
+			"write a BENCH_*.json-style snapshot (ns_op, bytes_op, allocs_op for the whole run) to this file")
 	)
 	flag.Parse()
 
@@ -117,6 +120,11 @@ func main() {
 
 	fmt.Fprintf(w, "PEI reproduction — experiment %s (scale 1/%d, budget %d ops/thread)\n\n",
 		*exp, *scale, *budget)
+	var before runtime.MemStats
+	if *benchJSON != "" {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
 	start := time.Now()
 	if err := pei.Reproduce(ctx, *exp, opts, w); err != nil {
 		if errors.Is(err, context.Canceled) {
@@ -128,5 +136,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "peibench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(w, "completed in %s\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	fmt.Fprintf(w, "completed in %s\n", elapsed.Round(time.Millisecond))
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *exp, *scale, *budget, elapsed, &before); err != nil {
+			fmt.Fprintln(os.Stderr, "peibench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchSnapshot is the BENCH_*.json snapshot format the repository uses
+// to record before/after numbers for performance work: one headline
+// entry with the whole run's wall time and heap traffic, in the same
+// ns_op / bytes_op / allocs_op units `go test -benchmem` reports.
+type benchSnapshot struct {
+	Description string        `json:"description"`
+	Experiment  string        `json:"experiment"`
+	Scale       int           `json:"scale"`
+	Budget      int64         `json:"budget"`
+	GoVersion   string        `json:"go_version"`
+	Headline    benchHeadline `json:"headline"`
+}
+
+type benchHeadline struct {
+	NsOp     int64  `json:"ns_op"`
+	BytesOp  uint64 `json:"bytes_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+}
+
+// writeBenchJSON records the run as a single-iteration benchmark: the
+// heap counters are deltas across Reproduce, so the snapshot is
+// comparable between commits at identical flags.
+func writeBenchJSON(path, exp string, scale int, budget int64, elapsed time.Duration, before *runtime.MemStats) error {
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	snap := benchSnapshot{
+		Description: "peibench single-run snapshot: wall time and heap traffic of one Reproduce call " +
+			"(units match `go test -benchmem`; compare only at identical -exp/-scale/-budget flags)",
+		Experiment: exp,
+		Scale:      scale,
+		Budget:     budget,
+		GoVersion:  runtime.Version(),
+		Headline: benchHeadline{
+			NsOp:     elapsed.Nanoseconds(),
+			BytesOp:  after.TotalAlloc - before.TotalAlloc,
+			AllocsOp: after.Mallocs - before.Mallocs,
+		},
+	}
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
 }

@@ -29,10 +29,21 @@ type Hierarchy struct {
 	coreIn  []*sim.Link // per-core response port out of the crossbar
 	bankSrv []*sim.Link // per-bank L3 service port
 
-	privMSHR     []map[uint64]*privMSHR // per core, keyed by block
-	privPend     [][]*privReq           // per core, waiting for an MSHR slot
-	l3MSHR       []map[uint64]*l3MSHR   // per bank, keyed by block
+	privMSHR []map[uint64]*privMSHR // per core, keyed by block
+	// privPend with privPendHead is a per-core head-indexed FIFO of
+	// requests waiting for an MSHR slot (reset, retaining capacity, when
+	// drained so churn never reallocates).
+	privPend     [][]pendReq
+	privPendHead []int
+	l3MSHR       []map[uint64]*l3MSHR // per bank, keyed by block
 	perBankMSHRs int
+
+	// Free lists for the pooled transaction records that replace the
+	// closure chains of the event hot path; see DESIGN.md §11.
+	freeAccess []*accessTxn
+	freePriv   []*privMSHR
+	freeL3     []*l3MSHR
+	freeCoh    []*cohTxn
 
 	// Pre-resolved counter handles: every per-event increment on the
 	// simulated hot path goes through one of these, never a string key.
@@ -55,24 +66,130 @@ type Hierarchy struct {
 	AccessLatency *stats.Histogram
 }
 
-type privReq struct {
-	write bool
-	done  func()
-}
-
-type privMSHR struct {
-	write   bool // ownership requested when the L3 access was launched
-	waiters []*privReq
-}
-
-type l3Waiter struct {
+// accessTxn is a pooled load/store walking the private levels: L1
+// lookup, L2 lookup, retire. The hierarchy owns the pool; the retire
+// stage releases the record before invoking the caller's continuation.
+type accessTxn struct {
+	h     *Hierarchy
 	core  int
+	a     uint64
+	blk   uint64
 	write bool
-	fill  func(exclusive bool)
+	start sim.Cycle
+	done  sim.Cont
 }
 
+const (
+	acStageL1     = iota // L1 array latency elapsed; look up
+	acStageL2            // L2 array latency elapsed; look up
+	acStageRetire        // access complete: observe latency, notify caller
+)
+
+func (t *accessTxn) OnEvent(arg sim.EventArg) {
+	switch arg.N {
+	case acStageL1:
+		t.h.accessL1(t)
+	case acStageL2:
+		t.h.accessL2(t)
+	default:
+		t.h.retireAccess(t)
+	}
+}
+
+// privWaiter is one request merged into a private MSHR.
+type privWaiter struct {
+	write bool
+	done  sim.Cont
+}
+
+// pendReq is a request parked behind a full private MSHR file; it is
+// retried from scratch when a slot frees.
+type pendReq struct {
+	blk   uint64
+	write bool
+	done  sim.Cont
+}
+
+// privMSHR is a pooled private-cache miss transaction: it is both the
+// MSHR entry (merge target) and the handler carrying the miss across
+// the crossbar, through the L3 bank, and back with the fill. The
+// hierarchy releases it in the fill stage.
+type privMSHR struct {
+	h         *Hierarchy
+	core      int
+	blk       uint64
+	write     bool // ownership requested when the L3 access was launched
+	exclusive bool // response: requester will be the sole sharer
+	waiters   []privWaiter
+}
+
+const (
+	pmStageAtXbar  = iota // request header crossed the crossbar
+	pmStageAtBank         // bank service slot granted
+	pmStageLookup         // L3 array latency elapsed; run the lookup
+	pmStageRespond        // bank sources the data; send the response
+	pmStageFill           // response at the core: fill, retire waiters
+)
+
+func (m *privMSHR) OnEvent(arg sim.EventArg) {
+	h := m.h
+	switch arg.N {
+	case pmStageAtXbar:
+		h.bankSrv[h.bankOf(m.blk)].SendEvent(1, m, sim.EventArg{N: pmStageAtBank})
+	case pmStageAtBank:
+		h.k.ScheduleEvent(h.cfg.L3.LatencyCycles, m, sim.EventArg{N: pmStageLookup})
+	case pmStageLookup:
+		h.l3Access(m)
+	case pmStageRespond:
+		h.completePrivateMiss(m)
+	default:
+		h.finishPrivateMiss(m)
+	}
+}
+
+// l3MSHR is a pooled L3 miss transaction; its event fires when the
+// memory read returns, filling the bank and all merged private misses.
 type l3MSHR struct {
-	waiters []l3Waiter
+	h       *Hierarchy
+	bank    int
+	blk     uint64
+	waiters []*privMSHR
+}
+
+func (m *l3MSHR) OnEvent(sim.EventArg) { m.h.fillL3(m) }
+
+// cohTxn is a pooled PMU coherence request (BackWriteback or
+// BackInvalidate) crossing the L3 and, when dirty data exists, memory.
+type cohTxn struct {
+	h     *Hierarchy
+	a     uint64
+	inval bool
+	done  sim.Cont
+}
+
+const (
+	cohStageLookup = iota // L3 latency elapsed; flush or invalidate
+	cohStageDone          // memory write restored; notify the PMU
+)
+
+func (t *cohTxn) OnEvent(arg sim.EventArg) {
+	switch arg.N {
+	case cohStageLookup:
+		t.h.backCohLookup(t)
+	default:
+		done := t.done
+		t.h.putCoh(t)
+		done.Invoke()
+	}
+}
+
+// l3DirtyNotice is the hierarchy acting as the handler for dirty-victim
+// writeback messages arriving at the L3; the victim block rides in
+// arg.N so the notification needs no transaction record.
+type l3DirtyNotice Hierarchy
+
+func (h *l3DirtyNotice) OnEvent(arg sim.EventArg) {
+	(*Hierarchy)(h).markL3Dirty(uint64(arg.N))
 }
 
 // NewHierarchy builds the hierarchy for cfg over the given memory chain.
@@ -85,6 +202,7 @@ func NewHierarchy(k *sim.Kernel, cfg *config.Config, chain *hmc.Chain, reg *stat
 		h.coreIn = append(h.coreIn, sim.NewLink(k, cfg.NoCBytesPerCycle, cfg.NoCLatency))
 		h.privMSHR = append(h.privMSHR, make(map[uint64]*privMSHR))
 		h.privPend = append(h.privPend, nil)
+		h.privPendHead = append(h.privPendHead, 0)
 	}
 	setsPerBank := cfg.L3.Sets() / cfg.L3Banks
 	for b := 0; b < cfg.L3Banks; b++ {
@@ -132,59 +250,160 @@ func (h *Hierarchy) L1(core int) *Cache  { return h.l1[core] }
 func (h *Hierarchy) L2(core int) *Cache  { return h.l2[core] }
 func (h *Hierarchy) L3Bank(b int) *Cache { return h.l3[b] }
 
+// Pool accessors. Each record type parks a nil h field while free, so
+// releasing the same record twice panics instead of corrupting the
+// free list (see DESIGN.md §11 for the lifecycle rules).
+
+func (h *Hierarchy) getAccess() *accessTxn {
+	if n := len(h.freeAccess); n > 0 {
+		t := h.freeAccess[n-1]
+		h.freeAccess = h.freeAccess[:n-1]
+		t.h = h
+		return t
+	}
+	return &accessTxn{h: h}
+}
+
+func (h *Hierarchy) putAccess(t *accessTxn) {
+	if t.h == nil {
+		panic("cache: access transaction double-released")
+	}
+	*t = accessTxn{}
+	h.freeAccess = append(h.freeAccess, t)
+}
+
+func (h *Hierarchy) getPriv() *privMSHR {
+	if n := len(h.freePriv); n > 0 {
+		m := h.freePriv[n-1]
+		h.freePriv = h.freePriv[:n-1]
+		m.h = h
+		return m
+	}
+	return &privMSHR{h: h}
+}
+
+func (h *Hierarchy) putPriv(m *privMSHR) {
+	if m.h == nil {
+		panic("cache: private MSHR double-released")
+	}
+	waiters := m.waiters[:0]
+	*m = privMSHR{waiters: waiters}
+	h.freePriv = append(h.freePriv, m)
+}
+
+func (h *Hierarchy) getL3() *l3MSHR {
+	if n := len(h.freeL3); n > 0 {
+		m := h.freeL3[n-1]
+		h.freeL3 = h.freeL3[:n-1]
+		m.h = h
+		return m
+	}
+	return &l3MSHR{h: h}
+}
+
+func (h *Hierarchy) putL3(m *l3MSHR) {
+	if m.h == nil {
+		panic("cache: L3 MSHR double-released")
+	}
+	waiters := m.waiters[:0]
+	*m = l3MSHR{waiters: waiters}
+	h.freeL3 = append(h.freeL3, m)
+}
+
+func (h *Hierarchy) getCoh() *cohTxn {
+	if n := len(h.freeCoh); n > 0 {
+		t := h.freeCoh[n-1]
+		h.freeCoh = h.freeCoh[:n-1]
+		t.h = h
+		return t
+	}
+	return &cohTxn{h: h}
+}
+
+func (h *Hierarchy) putCoh(t *cohTxn) {
+	if t.h == nil {
+		panic("cache: coherence transaction double-released")
+	}
+	*t = cohTxn{}
+	h.freeCoh = append(h.freeCoh, t)
+}
+
 // Access performs a load (write=false) or store (write=true) of the
 // block containing a on behalf of core. done runs when the access
-// retires (data available / ownership granted).
+// retires (data available / ownership granted). Closure form of
+// AccessEvent.
 func (h *Hierarchy) Access(core int, a uint64, write bool, done func()) {
-	blk := addr.BlockOf(a)
-	start := h.k.Now()
-	userDone := done
-	done = func() {
-		h.AccessLatency.Observe(int64(h.k.Now() - start))
-		userDone()
-	}
-	h.k.Schedule(h.cfg.L1.LatencyCycles, func() {
-		if l := h.l1[core].Lookup(blk); l != nil {
-			h.cL1Hits.Inc()
-			if !write || l.State >= Exclusive {
-				if write {
-					l.State = Modified
-					l.Dirty = true
-				}
-				done()
-				return
+	h.AccessEvent(core, a, write, sim.Call(done))
+}
+
+// AccessEvent is the allocation-free form of Access: the walk's state
+// lives in a pooled transaction instead of closure captures, and done
+// is invoked when the access retires.
+func (h *Hierarchy) AccessEvent(core int, a uint64, write bool, done sim.Cont) {
+	t := h.getAccess()
+	t.core = core
+	t.a = a
+	t.blk = addr.BlockOf(a)
+	t.write = write
+	t.start = h.k.Now()
+	t.done = done
+	h.k.ScheduleEvent(h.cfg.L1.LatencyCycles, t, sim.EventArg{N: acStageL1})
+}
+
+func (h *Hierarchy) accessL1(t *accessTxn) {
+	core, blk, write := t.core, t.blk, t.write
+	if l := h.l1[core].Lookup(blk); l != nil {
+		h.cL1Hits.Inc()
+		if !write || l.State >= Exclusive {
+			if write {
+				l.State = Modified
+				l.Dirty = true
 			}
-			// Write to a Shared line: upgrade through the L3.
-			h.cCohUpgrades.Inc()
-			h.privateMiss(core, blk, true, done)
+			h.retireAccess(t)
 			return
 		}
-		h.cL1Misses.Inc()
-		h.k.Schedule(h.cfg.L2.LatencyCycles, func() {
-			if l := h.l2[core].Lookup(blk); l != nil {
-				h.cL2Hits.Inc()
-				if !write || l.State >= Exclusive {
-					st := l.State
-					if write {
-						st = Modified
-						l.State = Modified
-						l.Dirty = true
-					}
-					h.fillL1(core, blk, st, write)
-					done()
-					return
-				}
-				h.cCohUpgrades.Inc()
-				h.privateMiss(core, blk, true, done)
-				return
+		// Write to a Shared line: upgrade through the L3.
+		h.cCohUpgrades.Inc()
+		h.privateMissEvent(core, blk, true, sim.Cont{H: t, Arg: sim.EventArg{N: acStageRetire}})
+		return
+	}
+	h.cL1Misses.Inc()
+	h.k.ScheduleEvent(h.cfg.L2.LatencyCycles, t, sim.EventArg{N: acStageL2})
+}
+
+func (h *Hierarchy) accessL2(t *accessTxn) {
+	core, blk, write := t.core, t.blk, t.write
+	if l := h.l2[core].Lookup(blk); l != nil {
+		h.cL2Hits.Inc()
+		if !write || l.State >= Exclusive {
+			st := l.State
+			if write {
+				st = Modified
+				l.State = Modified
+				l.Dirty = true
 			}
-			h.cL2Misses.Inc()
-			h.privateMiss(core, blk, write, done)
-			for i := 1; i <= h.cfg.PrefetchDepth; i++ {
-				h.prefetchBlock(core, blk+uint64(i))
-			}
-		})
-	})
+			h.fillL1(core, blk, st, write)
+			h.retireAccess(t)
+			return
+		}
+		h.cCohUpgrades.Inc()
+		h.privateMissEvent(core, blk, true, sim.Cont{H: t, Arg: sim.EventArg{N: acStageRetire}})
+		return
+	}
+	h.cL2Misses.Inc()
+	h.privateMissEvent(core, blk, write, sim.Cont{H: t, Arg: sim.EventArg{N: acStageRetire}})
+	for i := 1; i <= h.cfg.PrefetchDepth; i++ {
+		h.prefetchBlock(core, blk+uint64(i))
+	}
+}
+
+// retireAccess completes an access: it observes the retire latency,
+// releases the transaction, and then notifies the caller.
+func (h *Hierarchy) retireAccess(t *accessTxn) {
+	h.AccessLatency.Observe(int64(h.k.Now() - t.start))
+	done := t.done
+	h.putAccess(t)
+	done.Invoke()
 }
 
 // fillL1 installs blk in core's L1, handling the victim writeback into
@@ -227,10 +446,8 @@ func (h *Hierarchy) fillL2(core int, blk uint64, st State, dirty bool) {
 		}
 		if v.Dirty {
 			h.cL2Writebacks.Inc()
-			vk := v.Key
-			h.coreOut[core].Send(addr.BlockBytes+h.cfg.PacketHeaderBytes, func() {
-				h.markL3Dirty(vk)
-			})
+			h.coreOut[core].SendEvent(addr.BlockBytes+h.cfg.PacketHeaderBytes,
+				(*l3DirtyNotice)(h), sim.EventArg{N: int64(v.Key)})
 		}
 	}
 	c.Insert(v, blk, st)
@@ -248,7 +465,7 @@ func (h *Hierarchy) markL3Dirty(blk uint64) {
 		return
 	}
 	h.cL3OrphanWritebacks.Inc()
-	h.chain.Write(blockAddr(blk), nil)
+	h.chain.WriteEvent(blockAddr(blk), sim.Cont{})
 }
 
 // prefetchBlock issues a next-line prefetch into core's private caches:
@@ -265,84 +482,88 @@ func (h *Hierarchy) prefetchBlock(core int, blk uint64) {
 		return // never stall demand traffic for a prefetch
 	}
 	h.cL2Prefetches.Inc()
-	h.privateMiss(core, blk, false, func() {})
+	h.privateMissEvent(core, blk, false, sim.Cont{})
 }
 
-// privateMiss merges the request into the core's MSHRs, launching an L3
-// access for the first miss to each block.
-func (h *Hierarchy) privateMiss(core int, blk uint64, write bool, done func()) {
-	r := &privReq{write: write, done: done}
+// privateMissEvent merges the request into the core's MSHRs, launching
+// an L3 access for the first miss to each block. The launching MSHR is
+// a pooled transaction that carries the miss through the crossbar and
+// the bank itself (see privMSHR).
+func (h *Hierarchy) privateMissEvent(core int, blk uint64, write bool, done sim.Cont) {
 	if m, ok := h.privMSHR[core][blk]; ok {
 		h.cL2MSHRMerges.Inc()
-		m.waiters = append(m.waiters, r)
+		m.waiters = append(m.waiters, privWaiter{write: write, done: done})
 		return
 	}
 	if len(h.privMSHR[core]) >= h.cfg.L2.MSHRs {
 		h.cL2MSHRStalls.Inc()
-		h.privPend[core] = append(h.privPend[core], &privReq{write: write, done: func() {
-			// Retried from scratch once a slot frees.
-			h.privateMiss(core, blk, write, done)
-		}})
-		// Stash the block with the pending request via closure; the
-		// retry recomputes everything.
+		// Parked requests are retried from scratch once a slot frees;
+		// the retry recomputes everything.
+		h.privPend[core] = append(h.privPend[core], pendReq{blk: blk, write: write, done: done})
 		return
 	}
-	m := &privMSHR{write: write, waiters: []*privReq{r}}
+	m := h.getPriv()
+	m.core = core
+	m.blk = blk
+	m.write = write
+	m.waiters = append(m.waiters, privWaiter{write: write, done: done})
 	h.privMSHR[core][blk] = m
 	// Request message to the L3 bank over the crossbar.
-	h.coreOut[core].Send(h.cfg.PacketHeaderBytes, func() {
-		bank := h.bankOf(blk)
-		h.bankSrv[bank].Send(1, func() {
-			h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
-				h.l3Access(core, blk, m.write, func(exclusive bool) {
-					h.completePrivateMiss(core, blk, exclusive)
-				})
-			})
-		})
-	})
+	h.coreOut[core].SendEvent(h.cfg.PacketHeaderBytes, m, sim.EventArg{N: pmStageAtXbar})
 }
 
-// completePrivateMiss delivers the data response to the core and fills
-// its private caches, then retires all merged waiters.
-func (h *Hierarchy) completePrivateMiss(core int, blk uint64, exclusive bool) {
-	h.coreIn[core].Send(addr.BlockBytes+h.cfg.PacketHeaderBytes, func() {
-		m := h.privMSHR[core][blk]
-		if m == nil {
-			return
-		}
-		delete(h.privMSHR[core], blk)
-		st := Shared
-		if m.write {
-			st = Modified
-		} else if exclusive {
-			st = Exclusive
-		}
-		h.fillL2(core, blk, st, m.write)
-		h.fillL1(core, blk, st, m.write)
-		for _, w := range m.waiters {
-			if w.write && !m.write {
-				// A store merged into a read miss still needs
-				// ownership; replay it (it will hit Shared in L1 and
-				// take the upgrade path).
-				wd := w.done
-				h.Access(core, blockAddr(blk), true, wd)
-				continue
-			}
-			w.done()
-		}
-		// Admit one pending request now that a slot is free.
-		if len(h.privPend[core]) > 0 {
-			next := h.privPend[core][0]
-			h.privPend[core] = h.privPend[core][1:]
-			next.done()
-		}
-	})
+// completePrivateMiss sends the data response back to the requesting
+// core; the fill happens when it arrives (finishPrivateMiss).
+func (h *Hierarchy) completePrivateMiss(m *privMSHR) {
+	h.coreIn[m.core].SendEvent(addr.BlockBytes+h.cfg.PacketHeaderBytes, m, sim.EventArg{N: pmStageFill})
 }
 
-// l3Access looks up blk in the L3, resolving coherence with other cores'
-// private caches, and calls respond when the bank can source the data.
-// exclusive reports whether the requester will be the sole sharer.
-func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(exclusive bool)) {
+// finishPrivateMiss fills the core's private caches and retires all
+// merged waiters, then admits one parked request and releases the MSHR.
+func (h *Hierarchy) finishPrivateMiss(m *privMSHR) {
+	core, blk := m.core, m.blk
+	if h.privMSHR[core][blk] != m {
+		return
+	}
+	delete(h.privMSHR[core], blk)
+	st := Shared
+	if m.write {
+		st = Modified
+	} else if m.exclusive {
+		st = Exclusive
+	}
+	h.fillL2(core, blk, st, m.write)
+	h.fillL1(core, blk, st, m.write)
+	for _, w := range m.waiters {
+		if w.write && !m.write {
+			// A store merged into a read miss still needs ownership;
+			// replay it (it will hit Shared in L1 and take the upgrade
+			// path).
+			h.AccessEvent(core, blockAddr(blk), true, w.done)
+			continue
+		}
+		w.done.Invoke()
+	}
+	h.putPriv(m)
+	// Admit one pending request now that a slot is free.
+	if head := h.privPendHead[core]; head < len(h.privPend[core]) {
+		next := h.privPend[core][head]
+		h.privPend[core][head] = pendReq{}
+		h.privPendHead[core]++
+		if h.privPendHead[core] == len(h.privPend[core]) {
+			h.privPend[core] = h.privPend[core][:0]
+			h.privPendHead[core] = 0
+		}
+		h.privateMissEvent(core, next.blk, next.write, next.done)
+	}
+}
+
+// l3Access looks up the requesting MSHR's block in the L3, resolving
+// coherence with other cores' private caches, and schedules the
+// response (m.exclusive reports whether the requester will be the sole
+// sharer) once the bank can source the data.
+func (h *Hierarchy) l3Access(req *privMSHR) {
+	core, blk, write := req.core, req.blk, req.write
 	if h.OnL3Access != nil {
 		h.OnL3Access(blk)
 	}
@@ -351,7 +572,7 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 	// Join an in-flight fill if one exists.
 	if m, ok := h.l3MSHR[bank][blk]; ok {
 		h.cL3MSHRMerges.Inc()
-		m.waiters = append(m.waiters, l3Waiter{core: core, write: write, fill: respond})
+		m.waiters = append(m.waiters, req)
 		return
 	}
 	if l := h.l3[bank].Lookup(key); l != nil {
@@ -406,20 +627,21 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 		} else {
 			l.Sharers |= 1 << uint(core)
 		}
-		excl := l.Sharers == 1<<uint(core)
-		h.k.Schedule(delay, func() { respond(excl) })
+		req.exclusive = l.Sharers == 1<<uint(core)
+		h.k.ScheduleEvent(delay, req, sim.EventArg{N: pmStageRespond})
 		return
 	}
 	h.cL3Misses.Inc()
 	if len(h.l3MSHR[bank]) >= h.perBankMSHRs {
 		// All MSHRs busy: retry after a short backoff.
 		h.cL3MSHRStalls.Inc()
-		h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
-			h.l3Access(core, blk, write, respond)
-		})
+		h.k.ScheduleEvent(h.cfg.L3.LatencyCycles, req, sim.EventArg{N: pmStageLookup})
 		return
 	}
-	m := &l3MSHR{waiters: []l3Waiter{{core: core, write: write, fill: respond}}}
+	m := h.getL3()
+	m.bank = bank
+	m.blk = blk
+	m.waiters = append(m.waiters, req)
 	h.l3MSHR[bank][blk] = m
 	// Reserve the frame now so racing misses to the same set pick other
 	// victims; evict the old occupant first.
@@ -428,29 +650,40 @@ func (h *Hierarchy) l3Access(core int, blk uint64, write bool, respond func(excl
 		h.evictL3(bank, v)
 	}
 	h.l3[bank].Insert(v, key, Shared)
-	h.chain.Read(blockAddr(blk), func() {
-		delete(h.l3MSHR[bank], blk)
-		l := h.l3[bank].Peek(key)
-		if l == nil {
-			// Evicted while in flight (pathological); treat as a fresh
-			// bypass fill: respond without caching.
-			for _, w := range m.waiters {
-				w.fill(false)
-			}
-			return
-		}
+	h.chain.ReadEvent(blockAddr(blk), sim.Cont{H: m})
+}
+
+// fillL3 runs when the memory read for an L3 miss returns: it installs
+// the line's sharers, responds to every merged private miss, and
+// releases the MSHR.
+func (h *Hierarchy) fillL3(m *l3MSHR) {
+	bank, blk := m.bank, m.blk
+	key := h.bankKey(blk)
+	delete(h.l3MSHR[bank], blk)
+	l := h.l3[bank].Peek(key)
+	if l == nil {
+		// Evicted while in flight (pathological); treat as a fresh
+		// bypass fill: respond without caching.
 		for _, w := range m.waiters {
-			if w.write {
-				l.Dirty = true
-				l.Sharers = 1 << uint(w.core)
-			} else {
-				l.Sharers |= 1 << uint(w.core)
-			}
+			w.exclusive = false
+			h.completePrivateMiss(w)
 		}
-		for _, w := range m.waiters {
-			w.fill(l.Sharers == 1<<uint(w.core))
+		h.putL3(m)
+		return
+	}
+	for _, w := range m.waiters {
+		if w.write {
+			l.Dirty = true
+			l.Sharers = 1 << uint(w.core)
+		} else {
+			l.Sharers |= 1 << uint(w.core)
 		}
-	})
+	}
+	for _, w := range m.waiters {
+		w.exclusive = l.Sharers == 1<<uint(w.core)
+		h.completePrivateMiss(w)
+	}
+	h.putL3(m)
 }
 
 // evictL3 removes a victim line from the L3: back-invalidates all
@@ -472,55 +705,54 @@ func (h *Hierarchy) evictL3(bank int, v *Line) {
 	}
 	if dirty {
 		h.cL3Writebacks.Inc()
-		h.chain.Write(blockAddr(blk), nil)
+		h.chain.WriteEvent(blockAddr(blk), sim.Cont{})
 	}
 }
 
 // BackWriteback flushes any dirty copy of a's block to main memory while
 // letting caches keep clean copies. The PMU issues this before
 // offloading a reader PEI (§4.3). done runs when memory holds the latest
-// data.
+// data. Closure form of BackWritebackEvent.
 func (h *Hierarchy) BackWriteback(a uint64, done func()) {
-	blk := addr.BlockOf(a)
-	bank := h.bankOf(blk)
+	h.BackWritebackEvent(a, sim.Call(done))
+}
+
+// BackWritebackEvent is the allocation-free form of BackWriteback.
+func (h *Hierarchy) BackWritebackEvent(a uint64, done sim.Cont) {
 	h.cPMUBackWritebacks.Inc()
-	h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
-		dirty := false
-		if l := h.l3[bank].Peek(h.bankKey(blk)); l != nil {
-			if l.Dirty {
-				l.Dirty = false
-				dirty = true
-			}
-			for c := 0; c < h.cfg.Cores; c++ {
-				if l.Sharers&(1<<uint(c)) == 0 {
-					continue
-				}
-				if l1 := h.l1[c].Peek(blk); l1 != nil && l1.Dirty {
-					l1.State, l1.Dirty, dirty = Shared, false, true
-				}
-				if l2 := h.l2[c].Peek(blk); l2 != nil && l2.Dirty {
-					l2.State, l2.Dirty, dirty = Shared, false, true
-				}
-			}
-		}
-		if dirty {
-			h.chain.Write(addr.BlockBase(a), done)
-			return
-		}
-		done()
-	})
+	t := h.getCoh()
+	t.a = a
+	t.done = done
+	h.k.ScheduleEvent(h.cfg.L3.LatencyCycles, t, sim.EventArg{N: cohStageLookup})
 }
 
 // BackInvalidate removes a's block from the entire hierarchy, writing
 // dirty data to memory first. The PMU issues this before offloading a
 // writer PEI (§4.3). done runs when no cache holds the block and memory
-// is current.
+// is current. Closure form of BackInvalidateEvent.
 func (h *Hierarchy) BackInvalidate(a uint64, done func()) {
+	h.BackInvalidateEvent(a, sim.Call(done))
+}
+
+// BackInvalidateEvent is the allocation-free form of BackInvalidate.
+func (h *Hierarchy) BackInvalidateEvent(a uint64, done sim.Cont) {
+	h.cPMUBackInvals.Inc()
+	t := h.getCoh()
+	t.a = a
+	t.inval = true
+	t.done = done
+	h.k.ScheduleEvent(h.cfg.L3.LatencyCycles, t, sim.EventArg{N: cohStageLookup})
+}
+
+// backCohLookup performs the L3-side work of a BackWriteback or
+// BackInvalidate after the bank latency: flush (or invalidate) every
+// cached copy, then write dirty data to memory before completing.
+func (h *Hierarchy) backCohLookup(t *cohTxn) {
+	a := t.a
 	blk := addr.BlockOf(a)
 	bank := h.bankOf(blk)
-	h.cPMUBackInvals.Inc()
-	h.k.Schedule(h.cfg.L3.LatencyCycles, func() {
-		dirty := false
+	dirty := false
+	if t.inval {
 		if l, ok := h.l3[bank].Invalidate(h.bankKey(blk)); ok {
 			dirty = l.Dirty
 			for c := 0; c < h.cfg.Cores; c++ {
@@ -535,12 +767,30 @@ func (h *Hierarchy) BackInvalidate(a uint64, done func()) {
 				}
 			}
 		}
-		if dirty {
-			h.chain.Write(addr.BlockBase(a), done)
-			return
+	} else if l := h.l3[bank].Peek(h.bankKey(blk)); l != nil {
+		if l.Dirty {
+			l.Dirty = false
+			dirty = true
 		}
-		done()
-	})
+		for c := 0; c < h.cfg.Cores; c++ {
+			if l.Sharers&(1<<uint(c)) == 0 {
+				continue
+			}
+			if l1 := h.l1[c].Peek(blk); l1 != nil && l1.Dirty {
+				l1.State, l1.Dirty, dirty = Shared, false, true
+			}
+			if l2 := h.l2[c].Peek(blk); l2 != nil && l2.Dirty {
+				l2.State, l2.Dirty, dirty = Shared, false, true
+			}
+		}
+	}
+	if dirty {
+		h.chain.WriteEvent(addr.BlockBase(a), sim.Cont{H: t, Arg: sim.EventArg{N: cohStageDone}})
+		return
+	}
+	done := t.done
+	h.putCoh(t)
+	done.Invoke()
 }
 
 // CachedAnywhere reports whether a's block is present at any level (test

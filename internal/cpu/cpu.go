@@ -54,13 +54,13 @@ type Stream interface {
 // MemPort is the hierarchy interface the core needs (satisfied by
 // *cache.Hierarchy).
 type MemPort interface {
-	Access(core int, a uint64, write bool, done func())
+	AccessEvent(core int, a uint64, write bool, done sim.Cont)
 }
 
 // PEIPort is the PMU interface the core needs (satisfied by *pim.PMU).
 type PEIPort interface {
 	Issue(p *pim.PEI)
-	Fence(done func())
+	FenceEvent(done sim.Cont)
 }
 
 // Core executes one Stream against the memory system.
@@ -107,6 +107,50 @@ func NewCore(id int, k *sim.Kernel, issueWidth, window int, maxOps int64, mem Me
 	return &Core{ID: id, k: k, issueWidth: issueWidth, window: window, maxOps: maxOps, mem: mem, pmu: pmu}
 }
 
+// Core event stages: the core itself is the handler for every per-op
+// completion, so issuing a load, store, compute stall, or fence costs no
+// allocation.
+const (
+	coreEvPump      = iota // scheduled pump (issue-width or barrier resume)
+	coreEvUnblock          // multi-cycle compute retired; resume issue
+	coreEvFenceDone        // pfence drained; retire it and resume issue
+	coreEvMemDone          // a load/store completed
+)
+
+// OnEvent implements sim.Handler.
+func (c *Core) OnEvent(arg sim.EventArg) {
+	switch arg.N {
+	case coreEvPump:
+		c.pumpScheduled = false
+		c.pump()
+	case coreEvUnblock:
+		c.blocked = false
+		c.pump()
+	case coreEvFenceDone:
+		c.blocked = false
+		c.Retired++
+		c.pump()
+	default: // coreEvMemDone
+		c.inflight--
+		c.Retired++
+		c.pump()
+		c.maybeFinish()
+	}
+}
+
+// PEIRetired implements pim.Retiree: the PMU notifies the issuing core
+// directly at retire, replacing the per-PEI Done wrapper closure.
+func (c *Core) PEIRetired(p *pim.PEI) {
+	c.inflight--
+	c.Retired++
+	c.RetiredPEIs++
+	if p.Done != nil {
+		p.Done()
+	}
+	c.pump()
+	c.maybeFinish()
+}
+
 // Run starts executing the stream; the caller then drives the kernel.
 func (c *Core) Run(s Stream) {
 	c.stream = s
@@ -123,10 +167,7 @@ func (c *Core) schedulePump(delay sim.Cycle) {
 		return
 	}
 	c.pumpScheduled = true
-	c.k.Schedule(delay, func() {
-		c.pumpScheduled = false
-		c.pump()
-	})
+	c.k.ScheduleEvent(delay, c, sim.EventArg{N: coreEvPump})
 }
 
 func (c *Core) maybeFinish() {
@@ -186,46 +227,24 @@ func (c *Core) pump() {
 			c.Retired++
 			if op.Cycles > 0 {
 				c.blocked = true
-				c.k.Schedule(sim.Cycle(op.Cycles), func() {
-					c.blocked = false
-					c.pump()
-				})
+				c.k.ScheduleEvent(sim.Cycle(op.Cycles), c, sim.EventArg{N: coreEvUnblock})
 				return
 			}
 		case OpLoad, OpStore:
 			c.inflight++
 			write := op.Kind == OpStore
-			c.mem.Access(c.ID, op.Addr, write, func() {
-				c.inflight--
-				c.Retired++
-				c.pump()
-				c.maybeFinish()
-			})
+			c.mem.AccessEvent(c.ID, op.Addr, write, sim.Cont{H: c, Arg: sim.EventArg{N: coreEvMemDone}})
 		case OpPEI:
 			c.inflight++
 			p := op.PEI
 			p.Core = c.ID
-			userDone := p.Done
-			p.Done = func() {
-				c.inflight--
-				c.Retired++
-				c.RetiredPEIs++
-				if userDone != nil {
-					userDone()
-				}
-				c.pump()
-				c.maybeFinish()
-			}
+			p.Issuer = c
 			c.pmu.Issue(p)
 		case OpFence:
 			// pfence blocks the issue stage; in-flight ops may drain
 			// meanwhile.
 			c.blocked = true
-			c.pmu.Fence(func() {
-				c.blocked = false
-				c.Retired++
-				c.pump()
-			})
+			c.pmu.FenceEvent(sim.Cont{H: c, Arg: sim.EventArg{N: coreEvFenceDone}})
 			return
 		case OpDrain:
 			if c.inflight == 0 {

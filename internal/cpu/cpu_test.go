@@ -16,7 +16,7 @@ type fakeMem struct {
 	maxConc int
 }
 
-func (m *fakeMem) Access(core int, a uint64, write bool, done func()) {
+func (m *fakeMem) AccessEvent(core int, a uint64, write bool, done sim.Cont) {
 	m.addrs = append(m.addrs, a)
 	m.active++
 	if m.active > m.maxConc {
@@ -24,7 +24,7 @@ func (m *fakeMem) Access(core int, a uint64, write bool, done func()) {
 	}
 	m.k.Schedule(m.latency, func() {
 		m.active--
-		done()
+		done.Invoke()
 	})
 }
 
@@ -36,12 +36,18 @@ type fakePMU struct {
 
 func (p *fakePMU) Issue(pei *pim.PEI) {
 	p.issued++
-	p.k.Schedule(50, pei.Done)
+	p.k.Schedule(50, func() {
+		if pei.Issuer != nil {
+			pei.Issuer.PEIRetired(pei)
+		} else if pei.Done != nil {
+			pei.Done()
+		}
+	})
 }
 
-func (p *fakePMU) Fence(done func()) {
+func (p *fakePMU) FenceEvent(done sim.Cont) {
 	p.fences++
-	p.k.Schedule(10, done)
+	p.k.ScheduleEvent(10, done.H, done.Arg)
 }
 
 func newTestCore(k *sim.Kernel, width, window int, maxOps int64) (*Core, *fakeMem, *fakePMU) {

@@ -26,6 +26,7 @@ type Timing struct {
 }
 
 // Request is one 64-byte block access presented to a vault controller.
+// Closure-based compatibility form; hot paths use EnqueueEvent.
 type Request struct {
 	Bank  int
 	Row   uint64
@@ -33,7 +34,15 @@ type Request struct {
 	// Done runs when the access completes (data available at the vault
 	// for reads; write restored for writes).
 	Done func()
+}
 
+// request is the controller's internal queued form, recycled through a
+// free list so steady-state traffic allocates nothing.
+type request struct {
+	bank    int
+	row     uint64
+	write   bool
+	done    sim.Cont
 	arrived sim.Cycle
 }
 
@@ -48,7 +57,8 @@ type Controller struct {
 	k     *sim.Kernel
 	t     Timing
 	banks []bank
-	queue []*Request
+	queue []*request
+	free  []*request // recycled queue records; see getRequest/putRequest
 
 	// Per-event counters, resolved once at construction (the prefix is
 	// baked into the handle names, e.g. "dram.row_hit").
@@ -80,23 +90,60 @@ func NewController(k *sim.Kernel, banks int, t Timing, reg *stats.Registry, pref
 // QueueLen reports the number of waiting requests.
 func (c *Controller) QueueLen() int { return len(c.queue) }
 
-// Enqueue adds a request; it will be scheduled FR-FCFS.
+// Enqueue adds a request; it will be scheduled FR-FCFS. Closure-based
+// compatibility form of EnqueueEvent.
 func (c *Controller) Enqueue(r *Request) {
-	if r.Bank < 0 || r.Bank >= len(c.banks) {
+	c.EnqueueEvent(r.Bank, r.Row, r.Write, sim.Call(r.Done))
+}
+
+// EnqueueEvent adds a block access to the queue; done (which may be the
+// zero Cont) is invoked when the access completes. The queued record
+// comes from the controller's free list, so steady-state enqueueing
+// allocates nothing.
+func (c *Controller) EnqueueEvent(bank int, row uint64, write bool, done sim.Cont) {
+	if bank < 0 || bank >= len(c.banks) {
 		panic("dram: bank out of range")
 	}
+	r := c.getRequest()
+	r.bank = bank
+	r.row = row
+	r.write = write
+	r.done = done
 	r.arrived = c.k.Now()
 	c.queue = append(c.queue, r)
 	c.pump()
 }
 
+// getRequest takes a recycled queue record (or allocates the pool's
+// next one). The controller owns the record for the request's lifetime;
+// pump releases it when the request issues.
+func (c *Controller) getRequest() *request {
+	if n := len(c.free); n > 0 {
+		r := c.free[n-1]
+		c.free = c.free[:n-1]
+		r.bank = 0
+		return r
+	}
+	return &request{}
+}
+
+// putRequest recycles an issued record. bank is parked at -1 so a
+// double release is caught immediately rather than corrupting the pool.
+func (c *Controller) putRequest(r *request) {
+	if r.bank < 0 {
+		panic("dram: request double-released")
+	}
+	*r = request{bank: -1}
+	c.free = append(c.free, r)
+}
+
 // latencyFor returns the service latency of r on its bank and the
 // counter recording its kind: row hit, row miss (closed row), or
 // conflict.
-func (c *Controller) latencyFor(r *Request) (lat sim.Cycle, kind stats.Handle) {
-	b := &c.banks[r.Bank]
+func (c *Controller) latencyFor(r *request) (lat sim.Cycle, kind stats.Handle) {
+	b := &c.banks[r.bank]
 	switch {
-	case b.open && b.openRow == r.Row:
+	case b.open && b.openRow == r.row:
 		return c.t.TCL, c.cRowHit
 	case !b.open:
 		return c.t.TRCD + c.t.TCL, c.cRowMiss
@@ -144,20 +191,21 @@ func (c *Controller) pump() {
 		r := c.queue[idx]
 		c.queue = append(c.queue[:idx], c.queue[idx+1:]...)
 		lat, kind := c.latencyFor(r)
-		b := &c.banks[r.Bank]
+		b := &c.banks[r.bank]
 		b.open = true
-		b.openRow = r.Row
+		b.openRow = r.row
 		b.readyAt = now + lat
 		c.nextIssue = now + c.t.IssueGap
 		kind.Inc()
-		if r.Write {
+		if r.write {
 			c.cWrites.Inc()
 		} else {
 			c.cReads.Inc()
 		}
-		done := r.Done
-		if done != nil {
-			c.k.Schedule(lat, done)
+		done := r.done
+		c.putRequest(r)
+		if done.H != nil {
+			c.k.ScheduleEvent(lat, done.H, done.Arg)
 		}
 		now = c.k.Now() // unchanged; loop continues for other ready banks
 		if c.nextIssue > now {
@@ -176,11 +224,11 @@ func (c *Controller) pick(now sim.Cycle) int {
 	best := -1
 	bestHit := false
 	for i, r := range c.queue {
-		b := &c.banks[r.Bank]
+		b := &c.banks[r.bank]
 		if b.readyAt > now {
 			continue
 		}
-		hit := b.open && b.openRow == r.Row
+		hit := b.open && b.openRow == r.row
 		switch {
 		case best < 0:
 			best, bestHit = i, hit
@@ -203,7 +251,7 @@ func (c *Controller) scheduleNextPump() {
 	now := c.k.Now()
 	var earliest sim.Cycle = -1
 	for _, r := range c.queue {
-		t := c.banks[r.Bank].readyAt
+		t := c.banks[r.bank].readyAt
 		if t < c.nextIssue {
 			t = c.nextIssue
 		}
@@ -221,8 +269,13 @@ func (c *Controller) scheduleNextPump() {
 		return // an earlier-or-equal pump is already queued
 	}
 	c.pumpAt = earliest
-	c.k.At(earliest, func() {
-		c.pumpAt = -1
-		c.pump()
-	})
+	c.k.AtEvent(earliest, c, sim.EventArg{})
+}
+
+// OnEvent is the controller's self-scheduled pump wakeup (see
+// scheduleNextPump); the controller is its own handler so the wakeup
+// allocates nothing.
+func (c *Controller) OnEvent(sim.EventArg) {
+	c.pumpAt = -1
+	c.pump()
 }

@@ -26,31 +26,93 @@ type Vault struct {
 	TSV *sim.Link
 	// Index is the global vault number (cube*vaultsPerCube + vault).
 	Index int
+
+	free []*vaultTxn // recycled block-transfer transactions
+}
+
+// vaultTxn threads one block transfer through its two timed legs (DRAM
+// access and TSV crossing). The vault owns the pool; the transaction is
+// released inside its final stage.
+type vaultTxn struct {
+	v    *Vault
+	bank int
+	row  uint64
+	done sim.Cont
+}
+
+const (
+	// vaultStageTSVOut: a read's DRAM access finished; ship the block
+	// across the TSVs to the logic die, then hand off to done.
+	vaultStageTSVOut = iota
+	// vaultStageDRAMWrite: a write's block arrived over the TSVs;
+	// enqueue the DRAM write, with done riding on its completion.
+	vaultStageDRAMWrite
+)
+
+func (t *vaultTxn) OnEvent(arg sim.EventArg) {
+	v, done := t.v, t.done
+	switch arg.N {
+	case vaultStageTSVOut:
+		v.putTxn(t)
+		v.TSV.SendEvent(addr.BlockBytes, done.H, done.Arg)
+	default:
+		bank, row := t.bank, t.row
+		v.putTxn(t)
+		v.Ctrl.EnqueueEvent(bank, row, true, done)
+	}
+}
+
+func (v *Vault) getTxn() *vaultTxn {
+	if n := len(v.free); n > 0 {
+		t := v.free[n-1]
+		v.free = v.free[:n-1]
+		t.v = v
+		return t
+	}
+	return &vaultTxn{v: v}
+}
+
+// putTxn recycles a finished transaction; the nil v field marks it free
+// so a double release panics instead of corrupting the pool.
+func (v *Vault) putTxn(t *vaultTxn) {
+	if t.v == nil {
+		panic("hmc: vault transaction double-released")
+	}
+	*t = vaultTxn{}
+	v.free = append(v.free, t)
 }
 
 // ReadBlock fetches one 64-byte block from DRAM to the logic die: DRAM
-// access followed by a TSV transfer.
+// access followed by a TSV transfer. Closure form of ReadBlockEvent.
 func (v *Vault) ReadBlock(loc addr.Location, done func()) {
+	v.ReadBlockEvent(loc, sim.Call(done))
+}
+
+// ReadBlockEvent fetches one 64-byte block from DRAM to the logic die
+// (DRAM access, then a TSV transfer) and invokes done on completion.
+func (v *Vault) ReadBlockEvent(loc addr.Location, done sim.Cont) {
 	v.cTSVBytes.Add(addr.BlockBytes)
-	v.Ctrl.Enqueue(&dram.Request{
-		Bank: loc.Bank,
-		Row:  loc.Row,
-		Done: func() { v.TSV.Send(addr.BlockBytes, done) },
-	})
+	t := v.getTxn()
+	t.done = done
+	v.Ctrl.EnqueueEvent(loc.Bank, loc.Row, false, sim.Cont{H: t, Arg: sim.EventArg{N: vaultStageTSVOut}})
 }
 
 // WriteBlock stores one block from the logic die into DRAM: TSV transfer
-// followed by the DRAM write.
+// followed by the DRAM write. Closure form of WriteBlockEvent.
 func (v *Vault) WriteBlock(loc addr.Location, done func()) {
+	v.WriteBlockEvent(loc, sim.Call(done))
+}
+
+// WriteBlockEvent stores one block from the logic die into DRAM (TSV
+// transfer, then the DRAM write) and invokes done when the write has
+// been restored.
+func (v *Vault) WriteBlockEvent(loc addr.Location, done sim.Cont) {
 	v.cTSVBytes.Add(addr.BlockBytes)
-	v.TSV.Send(addr.BlockBytes, func() {
-		v.Ctrl.Enqueue(&dram.Request{
-			Bank:  loc.Bank,
-			Row:   loc.Row,
-			Write: true,
-			Done:  done,
-		})
-	})
+	t := v.getTxn()
+	t.bank = loc.Bank
+	t.row = loc.Row
+	t.done = done
+	v.TSV.SendEvent(addr.BlockBytes, t, sim.EventArg{N: vaultStageDRAMWrite})
 }
 
 // Cube is one HMC package.
@@ -96,6 +158,8 @@ type Chain struct {
 	cReq, cRes float64
 	lastDecay  sim.Cycle
 	seq        uint32
+
+	free []*Txn // recycled link transactions (wire buffers ride along)
 }
 
 // NewChain builds the memory system described by cfg.
@@ -165,73 +229,212 @@ func (ch *Chain) ResPressure() float64 { ch.decayPressure(); return ch.cRes }
 // back to the host and runs done on delivery.
 type Responder func(respBytes int, done func())
 
+// VaultVisitor receives a delivered request at the target vault. The
+// visitor reads the transaction (vault, location, user argument) and
+// must eventually call Txn.Respond exactly once to route the reply back
+// and release the transaction.
+type VaultVisitor interface {
+	AtVault(t *Txn)
+}
+
 // zeroBlock backs the payload field of data packets; functional values
 // live in the memlayout store, so link payloads carry placeholder bytes
 // of the correct size.
 var zeroBlock [addr.BlockBytes]byte
 
-// Deliver sends a request packet to the vault owning address a, then
-// invokes atVault on arrival with the vault, its location, and a
-// Responder for the reply. The request is genuinely encoded at the host
-// and decoded (CRC-checked) at the vault, so packet framing on the link
-// is the wire format's, not an estimate; per-cube hop latency applies in
-// each direction. Byte counts land in the shared registry under
-// offchip.req/res.
-func (ch *Chain) Deliver(a uint64, cmd Command, subcmd uint8, payload []byte, atVault func(v *Vault, loc addr.Location, respond Responder)) {
+// Txn is one in-flight request/response transaction on the chain: it
+// carries the encoded wire image across the request link and the cube
+// hops, hands itself to the visitor at the vault, and routes the reply
+// over the response link. Transactions are pooled by the chain (the
+// wire buffer's capacity is recycled with them); the chain releases the
+// transaction when the response enters the response link.
+type Txn struct {
+	ch      *Chain
+	v       *Vault
+	loc     addr.Location
+	addr    uint64
+	cmd     Command
+	hop     sim.Cycle
+	visitor VaultVisitor
+	user    sim.EventArg
+	done    sim.Cont // chain-level completion for Read/Write commands
+
+	respBytes int
+	respDone  sim.Cont
+
+	wire []byte // encoded request; capacity reused across transactions
+	pkt  Packet // encode/decode scratch (payload aliases wire after decode)
+}
+
+// Vault returns the target vault; Loc its DRAM location; User the
+// caller-supplied argument passed to DeliverEvent.
+func (t *Txn) Vault() *Vault      { return t.v }
+func (t *Txn) Loc() addr.Location { return t.loc }
+func (t *Txn) User() sim.EventArg { return t.user }
+
+const (
+	// chainStageHopIn: the request left the shared link; cube-hop
+	// latency to the target cube comes next.
+	chainStageHopIn = iota
+	// chainStageAtVault: decode (CRC-check) the request and hand it to
+	// the visitor or the built-in read/write handling.
+	chainStageAtVault
+	// chainStageHopOut: the response finished its cube hops; enter the
+	// response link and release the transaction.
+	chainStageHopOut
+	// chainStageBlockRead: a CmdRead's vault access finished; respond
+	// with the block.
+	chainStageBlockRead
+	// chainStageBlockWritten: a CmdWrite's DRAM write restored; notify
+	// the (posted) completion, then send the header-only ack.
+	chainStageBlockWritten
+)
+
+func (t *Txn) OnEvent(arg sim.EventArg) {
+	ch := t.ch
+	switch arg.N {
+	case chainStageHopIn:
+		ch.k.ScheduleEvent(t.hop, t, sim.EventArg{N: chainStageAtVault})
+	case chainStageAtVault:
+		err := DecodeInto(&t.pkt, t.wire)
+		if err != nil || t.pkt.Addr != t.addr || t.pkt.Cmd != t.cmd {
+			panic(fmt.Sprintf("hmc: packet corrupted in transit: %v (addr %#x cmd %v)", err, t.addr, t.cmd))
+		}
+		switch {
+		case t.visitor != nil:
+			t.visitor.AtVault(t)
+		case t.cmd == CmdRead:
+			t.v.ReadBlockEvent(t.loc, sim.Cont{H: t, Arg: sim.EventArg{N: chainStageBlockRead}})
+		case t.cmd == CmdWrite:
+			t.v.WriteBlockEvent(t.loc, sim.Cont{H: t, Arg: sim.EventArg{N: chainStageBlockWritten}})
+		default:
+			panic("hmc: request delivered with no visitor")
+		}
+	case chainStageHopOut:
+		total, done := t.respBytes, t.respDone
+		ch.putTxn(t)
+		ch.Res.SendEvent(total, done.H, done.Arg)
+	case chainStageBlockRead:
+		t.Respond(addr.BlockBytes, t.done)
+	default: // chainStageBlockWritten
+		t.done.Invoke()
+		t.Respond(0, sim.Cont{})
+	}
+}
+
+// Respond sends a response packet of respBytes payload (header added)
+// back to the host, invoking done on delivery, and schedules the
+// transaction's release. It must be called exactly once per delivered
+// transaction.
+func (t *Txn) Respond(respBytes int, done sim.Cont) {
+	ch := t.ch
+	total := ch.cfg.PacketHeaderBytes + respBytes
+	ch.decayPressure()
+	ch.cRes += float64((total + sim.FlitBytes - 1) / sim.FlitBytes)
+	ch.cResBytes.Add(int64(total))
+	ch.cResPackets.Inc()
+	t.respBytes = total
+	t.respDone = done
+	ch.k.ScheduleEvent(t.hop, t, sim.EventArg{N: chainStageHopOut})
+}
+
+func (ch *Chain) getTxn() *Txn {
+	if n := len(ch.free); n > 0 {
+		t := ch.free[n-1]
+		ch.free = ch.free[:n-1]
+		t.ch = ch
+		return t
+	}
+	return &Txn{ch: ch}
+}
+
+// putTxn recycles a completed transaction, keeping its wire buffer's
+// capacity; the nil ch field marks it free so a double release (e.g. a
+// visitor calling Respond twice) panics.
+func (ch *Chain) putTxn(t *Txn) {
+	if t.ch == nil {
+		panic("hmc: chain transaction double-released")
+	}
+	wire := t.wire[:0]
+	*t = Txn{wire: wire}
+	ch.free = append(ch.free, t)
+}
+
+// DeliverEvent sends a request packet to the vault owning address a.
+// For CmdRead/CmdWrite with a nil visitor the chain performs the vault
+// access itself and invokes done per Read/Write semantics; otherwise
+// the visitor is invoked on arrival with the transaction (user rides
+// along for its continuation state) and must call Txn.Respond. The
+// request is genuinely encoded at the host and decoded (CRC-checked) at
+// the vault, so packet framing on the link is the wire format's, not an
+// estimate; per-cube hop latency applies in each direction. Byte counts
+// land in the shared registry under offchip.req/res.
+func (ch *Chain) DeliverEvent(a uint64, cmd Command, subcmd uint8, payload []byte, visitor VaultVisitor, user sim.EventArg, done sim.Cont) {
 	v, loc := ch.VaultFor(a)
 	ch.seq++
-	pkt := &Packet{Cmd: cmd, Subcmd: subcmd, Addr: a, Seq: ch.seq, Payload: payload}
-	wire, err := pkt.Encode()
+	t := ch.getTxn()
+	t.v = v
+	t.loc = loc
+	t.addr = a
+	t.cmd = cmd
+	t.visitor = visitor
+	t.user = user
+	t.done = done
+	t.pkt = Packet{Cmd: cmd, Subcmd: subcmd, Addr: a, Seq: ch.seq, Payload: payload}
+	wire, err := t.pkt.EncodeTo(t.wire[:0])
 	if err != nil {
 		panic(err)
 	}
+	t.wire = wire
 	reqBytes := len(wire)
-	hop := ch.cfg.HopLatency * sim.Cycle(loc.Cube)
+	t.hop = ch.cfg.HopLatency * sim.Cycle(loc.Cube)
 	ch.decayPressure()
 	ch.cReq += float64((reqBytes + sim.FlitBytes - 1) / sim.FlitBytes)
 	ch.cReqBytes.Add(int64(reqBytes))
 	ch.cReqPackets.Inc()
-	ch.Req.Send(reqBytes, func() {
-		ch.k.Schedule(hop, func() {
-			got, err := Decode(wire)
-			if err != nil || got.Addr != a || got.Cmd != cmd {
-				panic(fmt.Sprintf("hmc: packet corrupted in transit: %v (addr %#x cmd %v)", err, a, cmd))
-			}
-			atVault(v, loc, func(respBytes int, done func()) {
-				total := ch.cfg.PacketHeaderBytes + respBytes
-				ch.decayPressure()
-				ch.cRes += float64((total + sim.FlitBytes - 1) / sim.FlitBytes)
-				ch.cResBytes.Add(int64(total))
-				ch.cResPackets.Inc()
-				ch.k.Schedule(hop, func() {
-					ch.Res.Send(total, done)
-				})
-			})
-		})
+	ch.Req.SendEvent(reqBytes, t, sim.EventArg{N: chainStageHopIn})
+}
+
+// visitFunc adapts the closure-based Deliver signature to VaultVisitor
+// for cold callers and tests.
+type visitFunc func(v *Vault, loc addr.Location, respond Responder)
+
+func (f visitFunc) AtVault(t *Txn) {
+	//peilint:allow hotalloc compatibility shim for closure-based Deliver; hot paths use DeliverEvent
+	f(t.v, t.loc, func(respBytes int, done func()) {
+		t.Respond(respBytes, sim.Call(done))
 	})
 }
 
-// Read performs a normal cache-block fill from memory: 16 B request,
-// DRAM read, 64 B + header response.
+// Deliver is the closure-based form of DeliverEvent: atVault receives
+// the vault, its location, and a Responder for the reply.
+func (ch *Chain) Deliver(a uint64, cmd Command, subcmd uint8, payload []byte, atVault func(v *Vault, loc addr.Location, respond Responder)) {
+	ch.DeliverEvent(a, cmd, subcmd, payload, visitFunc(atVault), sim.EventArg{}, sim.Cont{})
+}
+
+// ReadEvent performs a normal cache-block fill from memory: 16 B
+// request, DRAM read, 64 B + header response. done runs when the block
+// arrives back at the host.
+func (ch *Chain) ReadEvent(a uint64, done sim.Cont) {
+	ch.DeliverEvent(a, CmdRead, 0, nil, nil, sim.EventArg{}, done)
+}
+
+// Read is the closure form of ReadEvent.
 func (ch *Chain) Read(a uint64, done func()) {
-	ch.Deliver(a, CmdRead, 0, nil, func(v *Vault, loc addr.Location, respond Responder) {
-		v.ReadBlock(loc, func() { respond(addr.BlockBytes, done) })
-	})
+	ch.ReadEvent(a, sim.Call(done))
 }
 
-// Write performs a block writeback to memory: header + 64 B request,
-// DRAM write, header-only acknowledgement. done (which may be nil) runs
-// when the write is restored in DRAM, not when the ack returns, matching
-// posted-write semantics.
+// WriteEvent performs a block writeback to memory: header + 64 B
+// request, DRAM write, header-only acknowledgement. done (which may be
+// the zero Cont) runs when the write is restored in DRAM, not when the
+// ack returns, matching posted-write semantics.
+func (ch *Chain) WriteEvent(a uint64, done sim.Cont) {
+	ch.DeliverEvent(a, CmdWrite, 0, zeroBlock[:], nil, sim.EventArg{}, done)
+}
+
+// Write is the closure form of WriteEvent.
 func (ch *Chain) Write(a uint64, done func()) {
-	ch.Deliver(a, CmdWrite, 0, zeroBlock[:], func(v *Vault, loc addr.Location, respond Responder) {
-		v.WriteBlock(loc, func() {
-			if done != nil {
-				done()
-			}
-			respond(0, nil)
-		})
-	})
+	ch.WriteEvent(a, sim.Call(done))
 }
 
 // OffchipBytes reports total bytes moved over the chain in both

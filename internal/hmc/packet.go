@@ -46,6 +46,7 @@ func (c Command) String() string {
 	case CmdResponse:
 		return "RESPONSE"
 	default:
+		//peilint:allow hotalloc diagnostic stringer for unknown commands; not on the event path
 		return fmt.Sprintf("CMD(%d)", uint8(c))
 	}
 }
@@ -72,19 +73,37 @@ const (
 // WireSize reports the packet's size on the link.
 func (p *Packet) WireSize() int { return HeaderBytes + len(p.Payload) + TailBytes }
 
-// Encode serializes the packet. Layout:
+// Encode serializes the packet into a fresh buffer. Layout:
 //
 //	header: cmd u8 | subcmd u8 | tag u16 | addr u48 (low 6 bytes)
 //	payload bytes
 //	tail:   seq u32 | crc32(header+payload) u32
 func (p *Packet) Encode() ([]byte, error) {
+	return p.EncodeTo(nil)
+}
+
+// EncodeTo serializes the packet into dst's storage, growing it only
+// when the capacity is insufficient; hot paths pass a recycled buffer
+// (sliced to zero length) so steady-state encoding allocates nothing.
+func (p *Packet) EncodeTo(dst []byte) ([]byte, error) {
 	if len(p.Payload) > 255 {
+		//peilint:allow hotalloc malformed-packet error path; a failed encode aborts the run
 		return nil, fmt.Errorf("hmc: payload %d bytes exceeds packet limit", len(p.Payload))
 	}
 	if p.Addr >= 1<<48 {
+		//peilint:allow hotalloc malformed-packet error path; a failed encode aborts the run
 		return nil, fmt.Errorf("hmc: address %#x exceeds 48-bit packet field", p.Addr)
 	}
-	buf := make([]byte, HeaderBytes+len(p.Payload)+TailBytes)
+	n := HeaderBytes + len(p.Payload) + TailBytes
+	var buf []byte
+	if cap(dst) >= n {
+		buf = dst[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+	} else {
+		buf = make([]byte, n)
+	}
 	buf[0] = byte(p.Cmd)
 	buf[1] = p.Subcmd
 	binary.LittleEndian.PutUint16(buf[2:], p.Tag)
@@ -104,19 +123,35 @@ func (p *Packet) Encode() ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses and verifies a packet.
+// Decode parses and verifies a packet, copying the payload out of buf.
 func Decode(buf []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodeInto(p, buf); err != nil {
+		return nil, err
+	}
+	if len(p.Payload) > 0 {
+		p.Payload = append([]byte(nil), p.Payload...)
+	}
+	return p, nil
+}
+
+// DecodeInto parses and verifies a packet into p without allocating:
+// p.Payload aliases buf, so the result is only valid while buf is. Hot
+// paths decode into a recycled scratch Packet.
+func DecodeInto(p *Packet, buf []byte) error {
 	if len(buf) < HeaderBytes+TailBytes {
-		return nil, fmt.Errorf("hmc: packet truncated (%d bytes)", len(buf))
+		//peilint:allow hotalloc corrupt-packet error path; a failed decode aborts the run
+		return fmt.Errorf("hmc: packet truncated (%d bytes)", len(buf))
 	}
 	payloadLen := len(buf) - HeaderBytes - TailBytes
 	tail := buf[HeaderBytes+payloadLen:]
 	wantCRC := binary.LittleEndian.Uint16(tail[6:])
 	gotCRC := uint16(crc32.ChecksumIEEE(buf[:HeaderBytes+payloadLen+6]))
 	if wantCRC != gotCRC {
-		return nil, fmt.Errorf("hmc: CRC mismatch (%#x != %#x)", gotCRC, wantCRC)
+		//peilint:allow hotalloc corrupt-packet error path; a failed decode aborts the run
+		return fmt.Errorf("hmc: CRC mismatch (%#x != %#x)", gotCRC, wantCRC)
 	}
-	p := &Packet{
+	*p = Packet{
 		Cmd:    Command(buf[0]),
 		Subcmd: buf[1],
 		Tag:    binary.LittleEndian.Uint16(buf[2:]),
@@ -125,7 +160,7 @@ func Decode(buf []byte) (*Packet, error) {
 		Seq: binary.LittleEndian.Uint32(tail[0:]),
 	}
 	if payloadLen > 0 {
-		p.Payload = append([]byte(nil), buf[HeaderBytes:HeaderBytes+payloadLen]...)
+		p.Payload = buf[HeaderBytes : HeaderBytes+payloadLen]
 	}
-	return p, nil
+	return nil
 }

@@ -29,15 +29,22 @@ var allocatingFmtFuncs = map[string]bool{
 	"Appendf":  true,
 }
 
-// HotAlloc flags per-event allocations inside the event-kernel package.
+// HotAlloc flags per-event allocations inside the event kernel and the
+// per-event component packages that feed it (caches, DRAM, HMC, PIM).
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc: "inside internal/sim's per-event code, forbid fmt string " +
+	Doc: "inside the simulator's per-event packages, forbid fmt string " +
 		"building, non-constant string concatenation, and closures that " +
 		"capture variables — each is a heap allocation per event; panic " +
 		"arguments and New* constructors are exempt",
-	Packages: []string{"internal/sim"},
-	Run:      runHotAlloc,
+	Packages: []string{
+		"internal/sim",
+		"internal/cache",
+		"internal/dram",
+		"internal/hmc",
+		"internal/pim",
+	},
+	Run: runHotAlloc,
 }
 
 func runHotAlloc(pass *Pass) error {

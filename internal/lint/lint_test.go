@@ -48,7 +48,9 @@ func TestMalformedWaiverDoesNotSuppress(t *testing.T) {
 
 // TestAnalyzerScope pins each analyzer's package perimeter: the driver
 // must apply simdeterm to every simulator package (including the serve
-// layer) and must not apply hotalloc outside the event kernel.
+// layer) and must apply hotalloc to the event kernel plus the per-event
+// component packages (cache, dram, hmc, pim) — but not to the
+// generation-time layers above them.
 func TestAnalyzerScope(t *testing.T) {
 	cases := []struct {
 		analyzer *Analyzer
@@ -67,7 +69,12 @@ func TestAnalyzerScope(t *testing.T) {
 		{CtxFirst, "internal/serve", true},
 		{CtxFirst, "internal/workloads", false},
 		{HotAlloc, "internal/sim", true},
-		{HotAlloc, "internal/cache", false},
+		{HotAlloc, "internal/cache", true},
+		{HotAlloc, "internal/dram", true},
+		{HotAlloc, "internal/hmc", true},
+		{HotAlloc, "internal/pim", true},
+		{HotAlloc, "internal/cpu", false},
+		{HotAlloc, "internal/workloads", false},
 		{Waiver, "internal/graph", true}, // waiver validates everywhere
 		{Waiver, "cmd/peilint", true},
 	}

@@ -55,3 +55,31 @@ func (q *Queue) waived(event int) string {
 func (q *Queue) consume(event int) {
 	q.guard(event)
 }
+
+// txn mimics a pooled transaction handler from the component packages
+// the analyzer's widened scope covers (cache, dram, hmc, pim).
+type txn struct {
+	q     *Queue
+	stage int
+}
+
+// OnEvent dispatches on stored state instead of capturing it: allowed.
+func (t *txn) OnEvent(arg int) {
+	t.stage = arg
+	t.q.consume(arg)
+}
+
+func (t *txn) validate() error {
+	if t.stage < 0 {
+		return fmt.Errorf("hotalloc: bad stage %d", t.stage) // want `fmt.Errorf allocates a string per event`
+	}
+	return nil
+}
+
+func (t *txn) validateWaived() error {
+	if t.stage < 0 {
+		//peilint:allow hotalloc error path only reached on a malformed transaction
+		return fmt.Errorf("hotalloc: bad stage %d", t.stage)
+	}
+	return nil
+}

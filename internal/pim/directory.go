@@ -33,12 +33,71 @@ type Directory struct {
 	// outstandingWriters tracks writer PEIs holding or waiting for any
 	// entry; pfence drains when it reaches zero.
 	outstandingWriters int
-	fenceWaiters       []func()
+	fenceWaiters       []sim.Cont
+
+	free []*dirTxn // recycled acquire/fence transactions
 }
 
 type dirWaiter struct {
 	writer  bool
-	granted func()
+	granted sim.Cont
+}
+
+// dirTxn carries one acquire or fence request across the directory
+// access latency; it is released at dispatch, before the grant logic
+// runs, so a synchronously granted continuation can re-enter the pool.
+type dirTxn struct {
+	d       *Directory
+	target  uint64
+	writer  bool
+	fence   bool
+	granted sim.Cont
+}
+
+func (t *dirTxn) OnEvent(sim.EventArg) {
+	d := t.d
+	target, writer, fence, granted := t.target, t.writer, t.fence, t.granted
+	d.putTxn(t)
+	if fence {
+		if d.outstandingWriters == 0 {
+			granted.Invoke()
+			return
+		}
+		d.fenceWaiters = append(d.fenceWaiters, granted)
+		return
+	}
+	// Resolve the entry at dispatch time: ideal-mode entries are
+	// garbage-collected when idle, so a pointer captured at request
+	// time could be orphaned by an intervening release.
+	e := d.entryFor(target)
+	if d.canGrant(e, writer) {
+		d.grant(e, writer)
+		granted.Invoke()
+		return
+	}
+	d.cBlocked.Inc()
+	e.queue = append(e.queue, dirWaiter{writer: writer, granted: granted})
+	if writer {
+		e.writerWaiting++
+	}
+}
+
+func (d *Directory) getTxn() *dirTxn {
+	if n := len(d.free); n > 0 {
+		t := d.free[n-1]
+		d.free = d.free[:n-1]
+		t.d = d
+		return t
+	}
+	return &dirTxn{d: d}
+}
+
+func (d *Directory) putTxn(t *dirTxn) {
+	if t.d == nil {
+		panic("pim: directory transaction double-released")
+	}
+	*t = dirTxn{}
+	d.free = append(d.free, t)
 }
 
 type dirEntry struct {
@@ -47,7 +106,23 @@ type dirEntry struct {
 	// writerWaiting marks a queued writer; new readers must queue behind
 	// it rather than overtaking (non-readable state in the paper).
 	writerWaiting int
-	queue         []dirWaiter
+	// queue with qhead is a head-indexed FIFO (reset, retaining capacity,
+	// when drained) so waiter churn never reallocates.
+	queue []dirWaiter
+	qhead int
+}
+
+func (e *dirEntry) queued() int { return len(e.queue) - e.qhead }
+
+func (e *dirEntry) popWaiter() dirWaiter {
+	w := e.queue[e.qhead]
+	e.queue[e.qhead] = dirWaiter{}
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
+	return w
 }
 
 // NewDirectory creates a directory with the given entry count (rounded
@@ -93,39 +168,41 @@ func (d *Directory) entryFor(target uint64) *dirEntry {
 func (d *Directory) RegisterWriter() { d.outstandingWriters++ }
 
 // Acquire obtains the reader–writer lock covering target. granted runs
-// (possibly later) once the lock is held.
+// (possibly later) once the lock is held. Closure form of AcquireEvent.
 func (d *Directory) Acquire(target uint64, writer bool, granted func()) {
+	d.AcquireEvent(target, writer, sim.Call(granted))
+}
+
+// AcquireEvent is the allocation-free form of Acquire.
+func (d *Directory) AcquireEvent(target uint64, writer bool, granted sim.Cont) {
 	if writer {
 		d.RegisterWriter()
 	}
-	d.AcquireRegistered(target, writer, granted)
+	d.AcquireRegisteredEvent(target, writer, granted)
 }
 
 // AcquireRegistered is Acquire for a writer already counted via
 // RegisterWriter (readers behave identically under both entry points).
+// Closure form of AcquireRegisteredEvent.
 func (d *Directory) AcquireRegistered(target uint64, writer bool, granted func()) {
-	d.k.Schedule(d.latency, func() {
-		// Resolve the entry inside the callback: ideal-mode entries are
-		// garbage-collected when idle, so a pointer captured at call
-		// time could be orphaned by an intervening release.
-		e := d.entryFor(target)
-		if d.canGrant(e, writer) {
-			d.grant(e, writer)
-			granted()
-			return
-		}
-		d.cBlocked.Inc()
-		e.queue = append(e.queue, dirWaiter{writer: writer, granted: granted})
-		if writer {
-			e.writerWaiting++
-		}
-	})
+	d.AcquireRegisteredEvent(target, writer, sim.Call(granted))
+}
+
+// AcquireRegisteredEvent is the allocation-free form of
+// AcquireRegistered: the request rides a pooled transaction across the
+// directory access latency.
+func (d *Directory) AcquireRegisteredEvent(target uint64, writer bool, granted sim.Cont) {
+	t := d.getTxn()
+	t.target = target
+	t.writer = writer
+	t.granted = granted
+	d.k.ScheduleEvent(d.latency, t, sim.EventArg{})
 }
 
 func (d *Directory) canGrant(e *dirEntry, writer bool) bool {
 	if writer {
 		// One writer at a time, and it must wait for readers to drain.
-		return !e.writer && e.readers == 0 && len(e.queue) == 0
+		return !e.writer && e.readers == 0 && e.queued() == 0
 	}
 	// Readers are barred while a writer is active or waiting.
 	return !e.writer && e.writerWaiting == 0
@@ -155,7 +232,7 @@ func (d *Directory) Release(target uint64, writer bool) {
 		e.readers--
 	}
 	d.wake(e)
-	if d.ideal && e.readers == 0 && !e.writer && len(e.queue) == 0 {
+	if d.ideal && e.readers == 0 && !e.writer && e.queued() == 0 {
 		delete(d.idealLocks, addr.BlockOf(target))
 	}
 }
@@ -163,24 +240,24 @@ func (d *Directory) Release(target uint64, writer bool) {
 // wake admits queued waiters FIFO: either one writer, or a maximal run
 // of readers up to the next queued writer.
 func (d *Directory) wake(e *dirEntry) {
-	for len(e.queue) > 0 {
-		w := e.queue[0]
+	for e.queued() > 0 {
+		w := e.queue[e.qhead]
 		if w.writer {
 			if e.writer || e.readers > 0 {
 				return
 			}
-			e.queue = e.queue[1:]
+			e.popWaiter()
 			e.writerWaiting--
 			e.writer = true
-			w.granted()
+			w.granted.Invoke()
 			return
 		}
 		if e.writer {
 			return
 		}
-		e.queue = e.queue[1:]
+		e.popWaiter()
 		e.readers++
-		w.granted()
+		w.granted.Invoke()
 	}
 }
 
@@ -189,22 +266,25 @@ func (d *Directory) writerDone() {
 	if d.outstandingWriters == 0 && len(d.fenceWaiters) > 0 {
 		waiters := d.fenceWaiters
 		d.fenceWaiters = nil
-		for _, fn := range waiters {
-			fn()
+		for _, c := range waiters {
+			c.Invoke()
 		}
 	}
 }
 
 // Fence implements pfence (§3.2): done runs once every writer PEI issued
-// so far has completed (all entries readable).
+// so far has completed (all entries readable). Closure form of
+// FenceEvent.
 func (d *Directory) Fence(done func()) {
-	d.k.Schedule(d.latency, func() {
-		if d.outstandingWriters == 0 {
-			done()
-			return
-		}
-		d.fenceWaiters = append(d.fenceWaiters, done)
-	})
+	d.FenceEvent(sim.Call(done))
+}
+
+// FenceEvent is the allocation-free form of Fence.
+func (d *Directory) FenceEvent(done sim.Cont) {
+	t := d.getTxn()
+	t.fence = true
+	t.granted = done
+	d.k.ScheduleEvent(d.latency, t, sim.EventArg{})
 }
 
 // OutstandingWriters exposes the writer count for tests.

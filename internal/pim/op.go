@@ -96,6 +96,15 @@ type PEI struct {
 	Core int
 	// Done runs when the PEI retires (output operand readable).
 	Done func()
+	// Issuer, when non-nil, is notified at retire INSTEAD of Done being
+	// called by the PMU; the issuer then owns calling Done. The CPU core
+	// model sets itself here so per-PEI retirement needs no closures.
+	Issuer Retiree
+}
+
+// Retiree receives PEI retirement notifications (see PEI.Issuer).
+type Retiree interface {
+	PEIRetired(p *PEI)
 }
 
 // targetBytes returns how many bytes at Target the operation touches.
@@ -114,10 +123,12 @@ func (k OpKind) targetBytes() int {
 func (p *PEI) Validate() error {
 	info := p.Op.Info()
 	if len(p.Input) != info.InputBytes {
+		//peilint:allow hotalloc invalid-PEI error path; Issue panics on it, ending the run
 		return fmt.Errorf("pim: %s input operand %d bytes, want %d", info.Name, len(p.Input), info.InputBytes)
 	}
 	n := uint64(p.Op.targetBytes())
 	if addr.BlockOf(p.Target) != addr.BlockOf(p.Target+n-1) {
+		//peilint:allow hotalloc invalid-PEI error path; Issue panics on it, ending the run
 		return fmt.Errorf("pim: %s target %#x..+%d crosses a cache-block boundary", info.Name, p.Target, n)
 	}
 	return nil

@@ -16,7 +16,11 @@ type PCU struct {
 	clockDiv sim.Cycle
 
 	inFlight int
-	waitQ    []func()
+	// waitQ with waitHead is a head-indexed FIFO: popping advances the
+	// head and the slice is reset (retaining capacity) when it empties,
+	// so steady-state churn never reallocates.
+	waitQ    []sim.Cont
+	waitHead int
 
 	// ports holds the next-free cycle of each execution port
 	// (len = execution width).
@@ -39,10 +43,17 @@ func NewPCU(k *sim.Kernel, entries, width int, clockDiv sim.Cycle) *PCU {
 
 // Acquire obtains an operand buffer entry, queueing if all are in use.
 // granted runs once the entry is held; the holder must call Release.
+// Closure form of AcquireEvent.
 func (p *PCU) Acquire(granted func()) {
+	p.AcquireEvent(sim.Call(granted))
+}
+
+// AcquireEvent is the allocation-free form of Acquire: granted is
+// invoked (synchronously when an entry is free) once the entry is held.
+func (p *PCU) AcquireEvent(granted sim.Cont) {
 	if p.inFlight < p.entries {
 		p.inFlight++
-		granted()
+		granted.Invoke()
 		return
 	}
 	p.BufferFullStalls++
@@ -51,10 +62,15 @@ func (p *PCU) Acquire(granted func()) {
 
 // Release frees an operand buffer entry and admits the next waiter.
 func (p *PCU) Release() {
-	if len(p.waitQ) > 0 {
-		next := p.waitQ[0]
-		p.waitQ = p.waitQ[1:]
-		next()
+	if p.waitHead < len(p.waitQ) {
+		next := p.waitQ[p.waitHead]
+		p.waitQ[p.waitHead] = sim.Cont{} // drop the handler reference
+		p.waitHead++
+		if p.waitHead == len(p.waitQ) {
+			p.waitQ = p.waitQ[:0]
+			p.waitHead = 0
+		}
+		next.Invoke()
 		return
 	}
 	p.inFlight--
@@ -73,6 +89,11 @@ func (p *PCU) InFlight() int { return p.inFlight }
 // single-issue (per-PCU) computation logic whose latency is hidden by
 // the operand buffer (§4.2).
 func (p *PCU) Compute(cycles int64, done func()) {
+	p.ComputeEvent(cycles, sim.Call(done))
+}
+
+// ComputeEvent is the allocation-free form of Compute.
+func (p *PCU) ComputeEvent(cycles int64, done sim.Cont) {
 	now := p.k.Now()
 	best := 0
 	for i := range p.ports {
@@ -87,5 +108,5 @@ func (p *PCU) Compute(cycles int64, done func()) {
 	p.ports[best] = start + p.clockDiv
 	end := start + sim.Cycle(cycles)*p.clockDiv
 	p.Executed++
-	p.k.At(end, done)
+	p.k.AtEvent(end, done.H, done.Arg)
 }

@@ -69,6 +69,123 @@ type PMU struct {
 	cTotal, cHost, cMem stats.Handle
 	cFences, cBalanced  stats.Handle
 	cOp                 []stats.Handle
+
+	free []*peiTxn // recycled PEI transactions
+}
+
+// peiTxn carries one in-flight PEI through its execution pipeline —
+// directory acquire, coherence cleanup, PCU compute, retire — as a
+// pooled state machine (the stage rides in the event argument) instead
+// of a chain of closures. The PMU owns the pool and releases the
+// transaction in its finish stage.
+type peiTxn struct {
+	p        *PMU
+	pei      *PEI
+	start    sim.Cycle
+	writer   bool
+	compute  int64
+	outBytes int
+	locked   bool // a PIM-directory entry is held (not in HMC2 mode)
+	pending  int  // outstanding prerequisites before the op can ship
+	pcu      *PCU
+	dt       *hmc.Txn
+}
+
+// Pipeline stages, one per event hop. The host path is §4.5 Figure 4,
+// the memory path Figure 5, the ideal path §7.6.
+const (
+	stConsult       = iota // NoC+monitor hop done; acquire the directory lock
+	stGranted              // directory lock held; steer host vs memory
+	stHostAcquired         // host PCU operand buffer entry held
+	stHostLoaded           // target block loaded through the L1
+	stHostComputed         // computation done; store back or finish
+	stHostFinish           // writer store retired; finish host execution
+	stMemProceed           // one of {coherence cleanup, operand transfer} done
+	stSend                 // ship the PIM op (the HMC2 path enters here)
+	stVaultAcquired        // vault PCU operand buffer entry held
+	stVaultRead            // target block read from DRAM to the logic die
+	stVaultComputed        // computation done at the vault
+	stMemFinish            // response delivered to the host; retire
+	stIdealGranted         // ideal: lock held at zero cost; load
+	stIdealLoaded          // ideal: block loaded; plain compute delay
+	stIdealComputed        // ideal: execute; store back or finish
+	stIdealFinish          // ideal: writer store retired
+)
+
+func (t *peiTxn) OnEvent(arg sim.EventArg) {
+	p := t.p
+	switch arg.N {
+	case stConsult:
+		p.Dir.AcquireRegisteredEvent(t.pei.Target, t.writer, sim.Cont{H: t, Arg: sim.EventArg{N: stGranted}})
+	case stGranted:
+		if p.decideHost(t.pei) {
+			p.executeHost(t)
+		} else {
+			p.executeMemory(t)
+		}
+	case stHostAcquired:
+		p.hier.AccessEvent(t.pei.Core, t.pei.Target, false, sim.Cont{H: t, Arg: sim.EventArg{N: stHostLoaded}})
+	case stHostLoaded:
+		t.pcu.ComputeEvent(t.compute, sim.Cont{H: t, Arg: sim.EventArg{N: stHostComputed}})
+	case stHostComputed:
+		t.pei.Output = Execute(t.pei.Op, p.store, t.pei.Target, t.pei.Input)
+		if t.writer {
+			p.hier.AccessEvent(t.pei.Core, t.pei.Target, true, sim.Cont{H: t, Arg: sim.EventArg{N: stHostFinish}})
+			return
+		}
+		p.hostFinish(t)
+	case stHostFinish:
+		p.hostFinish(t)
+	case stMemProceed:
+		t.pending--
+		if t.pending > 0 {
+			return
+		}
+		p.sendPIMOp(t)
+	case stSend:
+		p.sendPIMOp(t)
+	case stVaultAcquired:
+		t.dt.Vault().ReadBlockEvent(t.dt.Loc(), sim.Cont{H: t, Arg: sim.EventArg{N: stVaultRead}})
+	case stVaultRead:
+		t.pcu.ComputeEvent(t.compute, sim.Cont{H: t, Arg: sim.EventArg{N: stVaultComputed}})
+	case stVaultComputed:
+		p.vaultComputed(t)
+	case stMemFinish:
+		p.memFinish(t)
+	case stIdealGranted:
+		p.hier.AccessEvent(t.pei.Core, t.pei.Target, false, sim.Cont{H: t, Arg: sim.EventArg{N: stIdealLoaded}})
+	case stIdealLoaded:
+		p.k.ScheduleEvent(sim.Cycle(t.compute), t, sim.EventArg{N: stIdealComputed})
+	case stIdealComputed:
+		t.pei.Output = Execute(t.pei.Op, p.store, t.pei.Target, t.pei.Input)
+		if t.writer {
+			p.hier.AccessEvent(t.pei.Core, t.pei.Target, true, sim.Cont{H: t, Arg: sim.EventArg{N: stIdealFinish}})
+			return
+		}
+		p.idealFinish(t)
+	default:
+		p.idealFinish(t)
+	}
+}
+
+func (p *PMU) getTxn() *peiTxn {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		t.p = p
+		return t
+	}
+	return &peiTxn{p: p}
+}
+
+// putTxn recycles a retired transaction; the nil p field marks it free
+// so a double release panics instead of corrupting the pool.
+func (p *PMU) putTxn(t *peiTxn) {
+	if t.p == nil {
+		panic("pim: PEI transaction double-released")
+	}
+	*t = peiTxn{}
+	p.free = append(p.free, t)
 }
 
 // NewPMU wires the PMU into an existing hierarchy and chain. It installs
@@ -106,25 +223,25 @@ func NewPMU(k *sim.Kernel, cfg *config.Config, hier *cache.Hierarchy, chain *hmc
 	return p
 }
 
-// Issue starts execution of a PEI. The PEI's Done callback runs when it
-// retires; its Output field then holds the output operand.
+// Issue starts execution of a PEI. When it retires, the PEI's Issuer is
+// notified (or, absent one, its Done callback runs); its Output field
+// then holds the output operand.
 func (p *PMU) Issue(pei *PEI) {
 	if err := pei.Validate(); err != nil {
 		panic(err)
 	}
 	p.cTotal.Inc()
 	p.cOp[pei.Op].Inc()
-	start := p.k.Now()
-	userDone := pei.Done
-	pei.Done = func() {
-		p.PEILatency.Observe(int64(p.k.Now() - start))
-		if userDone != nil {
-			userDone()
-		}
-	}
+	info := pei.Op.Info()
+	t := p.getTxn()
+	t.pei = pei
+	t.start = p.k.Now()
+	t.writer = info.Writer
+	t.compute = info.ComputeCycles
+	t.outBytes = info.OutputBytes
 
 	if p.Mode == IdealHost {
-		p.issueIdeal(pei)
+		p.Dir.AcquireEvent(pei.Target, t.writer, sim.Cont{H: t, Arg: sim.EventArg{N: stIdealGranted}})
 		return
 	}
 	if p.cfg.HMC2AtomicsMode {
@@ -132,7 +249,7 @@ func (p *PMU) Issue(pei *PEI) {
 		// directory, no coherence action (the target region is treated
 		// as non-cacheable, as prior PIM proposals require). The vault's
 		// inseparable-group scheduling provides per-block atomicity.
-		p.k.Schedule(p.cfg.NoCLatency, func() { p.sendPIMOpRaw(pei, false) })
+		p.k.ScheduleEvent(p.cfg.NoCLatency, t, sim.EventArg{N: stSend})
 		return
 	}
 
@@ -141,19 +258,25 @@ func (p *PMU) Issue(pei *PEI) {
 	// monitor in parallel; the monitor's latency is covered by the
 	// crossbar hop to the PMU. Writer PEIs are registered for pfence
 	// ordering at issue, before the lock request reaches the directory.
-	info := pei.Op.Info()
-	if info.Writer {
+	t.locked = true
+	if t.writer {
 		p.Dir.RegisterWriter()
 	}
-	p.k.Schedule(p.cfg.NoCLatency+p.cfg.MonitorLatency, func() {
-		p.Dir.AcquireRegistered(pei.Target, info.Writer, func() {
-			if p.decideHost(pei) {
-				p.executeHost(pei)
-			} else {
-				p.executeMemory(pei)
-			}
-		})
-	})
+	p.k.ScheduleEvent(p.cfg.NoCLatency+p.cfg.MonitorLatency, t, sim.EventArg{N: stConsult})
+}
+
+// retire observes the issue-to-retire latency and hands the PEI back to
+// its issuer (or runs Done directly when no issuer is registered).
+func (p *PMU) retire(t *peiTxn) {
+	p.PEILatency.Observe(int64(p.k.Now() - t.start))
+	pei := t.pei
+	if pei.Issuer != nil {
+		pei.Issuer.PEIRetired(pei)
+		return
+	}
+	if pei.Done != nil {
+		pei.Done()
+	}
 }
 
 // decideHost applies the mode's steering policy.
@@ -195,123 +318,102 @@ func (p *PMU) balancedChoice(op OpKind) bool {
 	return hostReq < memReq
 }
 
-// issueIdeal runs the PEI as if it were a normal host instruction:
-// perfect atomicity at zero cost, no PCU structures.
-func (p *PMU) issueIdeal(pei *PEI) {
-	info := pei.Op.Info()
-	p.Dir.Acquire(pei.Target, info.Writer, func() {
-		p.hier.Access(pei.Core, pei.Target, false, func() {
-			p.k.Schedule(sim.Cycle(info.ComputeCycles), func() {
-				pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
-				finish := func() {
-					p.cHost.Inc()
-					pei.Done()
-					p.Dir.Release(pei.Target, info.Writer)
-				}
-				if info.Writer {
-					p.hier.Access(pei.Core, pei.Target, true, finish)
-				} else {
-					finish()
-				}
-			})
-		})
-	})
-}
-
 // executeHost runs the PEI on the issuing core's host-side PCU (§4.5,
 // Figure 4): operand buffer entry, block load through the L1, compute,
 // store back through the L1 for writer PEIs.
-func (p *PMU) executeHost(pei *PEI) {
-	info := pei.Op.Info()
-	pcu := p.HostPCU[pei.Core]
-	pcu.Acquire(func() {
-		p.hier.Access(pei.Core, pei.Target, false, func() {
-			pcu.Compute(info.ComputeCycles, func() {
-				pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
-				finish := func() {
-					p.cHost.Inc()
-					pcu.Release()
-					pei.Done()
-					p.Dir.Release(pei.Target, info.Writer)
-				}
-				if info.Writer {
-					p.hier.Access(pei.Core, pei.Target, true, finish)
-				} else {
-					finish()
-				}
-			})
-		})
-	})
+func (p *PMU) executeHost(t *peiTxn) {
+	t.pcu = p.HostPCU[t.pei.Core]
+	t.pcu.AcquireEvent(sim.Cont{H: t, Arg: sim.EventArg{N: stHostAcquired}})
+}
+
+func (p *PMU) hostFinish(t *peiTxn) {
+	p.cHost.Inc()
+	t.pcu.Release()
+	p.retire(t)
+	p.Dir.Release(t.pei.Target, t.writer)
+	p.putTxn(t)
+}
+
+func (p *PMU) idealFinish(t *peiTxn) {
+	p.cHost.Inc()
+	p.retire(t)
+	p.Dir.Release(t.pei.Target, t.writer)
+	p.putTxn(t)
 }
 
 // executeMemory offloads the PEI to the vault owning its target (§4.5,
 // Figure 5): back-invalidate/back-writeback the block, ship the operands,
 // run on the vault PCU, and return the output operand.
-func (p *PMU) executeMemory(pei *PEI) {
-	info := pei.Op.Info()
-	blk := addr.BlockOf(pei.Target)
+func (p *PMU) executeMemory(t *peiTxn) {
 	if p.Mode == LocalityAware {
-		p.Mon.OnPIMIssue(blk)
+		p.Mon.OnPIMIssue(addr.BlockOf(t.pei.Target))
 	}
 
 	// Steps 3 and 4 proceed in parallel: coherence cleanup of the target
 	// block, and operand transfer from the host PCU's memory-mapped
 	// registers to the PMU.
-	pending := 2
-	proceed := func() {
-		pending--
-		if pending > 0 {
-			return
-		}
-		p.sendPIMOp(pei)
-	}
-	if info.Writer {
-		p.hier.BackInvalidate(pei.Target, proceed)
+	t.pending = 2
+	proceed := sim.Cont{H: t, Arg: sim.EventArg{N: stMemProceed}}
+	if t.writer {
+		p.hier.BackInvalidateEvent(t.pei.Target, proceed)
 	} else {
-		p.hier.BackWriteback(pei.Target, proceed)
+		p.hier.BackWritebackEvent(t.pei.Target, proceed)
 	}
-	p.k.Schedule(p.cfg.NoCLatency, proceed)
+	p.k.ScheduleEvent(p.cfg.NoCLatency, t, sim.EventArg{N: stMemProceed})
 }
 
-func (p *PMU) sendPIMOp(pei *PEI) { p.sendPIMOpRaw(pei, true) }
+// sendPIMOp ships the PIM operation to its vault. The transaction rides
+// along as the delivery's user payload; AtVault picks it back up on the
+// logic die.
+func (p *PMU) sendPIMOp(t *peiTxn) {
+	p.chain.DeliverEvent(t.pei.Target, hmc.CmdPEI, uint8(t.pei.Op), t.pei.Input,
+		p, sim.EventArg{Ptr: t}, sim.Cont{})
+}
 
-// sendPIMOpRaw ships the PIM operation to its vault; locked indicates a
-// PIM-directory entry is held and must be released at completion.
-func (p *PMU) sendPIMOpRaw(pei *PEI, locked bool) {
-	info := pei.Op.Info()
-	p.chain.Deliver(pei.Target, hmc.CmdPEI, uint8(pei.Op), pei.Input, func(v *hmc.Vault, loc addr.Location, respond hmc.Responder) {
-		pcu := p.MemPCU[v.Index]
-		pcu.Acquire(func() {
-			v.ReadBlock(loc, func() {
-				pcu.Compute(info.ComputeCycles, func() {
-					pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
-					if info.Writer {
-						// Posted write: the vault's DRAM controller
-						// schedules a PEI's accesses as an inseparable
-						// group (§4.3), so the response needs not wait
-						// for the write to restore — any later access
-						// to this block at this vault orders behind it.
-						v.WriteBlock(loc, nil)
-					}
-					respond(info.OutputBytes, func() {
-						p.cMem.Inc()
-						pei.Done()
-						if locked {
-							p.Dir.Release(pei.Target, info.Writer)
-						}
-					})
-					pcu.Release()
-				})
-			})
-		})
-	})
+// AtVault implements hmc.VaultVisitor: the PIM op has crossed the chain
+// and reached its vault's logic die.
+func (p *PMU) AtVault(dt *hmc.Txn) {
+	t := dt.User().Ptr.(*peiTxn)
+	t.dt = dt
+	t.pcu = p.MemPCU[dt.Vault().Index]
+	t.pcu.AcquireEvent(sim.Cont{H: t, Arg: sim.EventArg{N: stVaultAcquired}})
+}
+
+func (p *PMU) vaultComputed(t *peiTxn) {
+	pei := t.pei
+	pei.Output = Execute(pei.Op, p.store, pei.Target, pei.Input)
+	dt := t.dt
+	if t.writer {
+		// Posted write: the vault's DRAM controller schedules a PEI's
+		// accesses as an inseparable group (§4.3), so the response needs
+		// not wait for the write to restore — any later access to this
+		// block at this vault orders behind it.
+		dt.Vault().WriteBlockEvent(dt.Loc(), sim.Cont{})
+	}
+	t.dt = nil
+	dt.Respond(t.outBytes, sim.Cont{H: t, Arg: sim.EventArg{N: stMemFinish}})
+	t.pcu.Release()
+}
+
+func (p *PMU) memFinish(t *peiTxn) {
+	p.cMem.Inc()
+	p.retire(t)
+	if t.locked {
+		p.Dir.Release(t.pei.Target, t.writer)
+	}
+	p.putTxn(t)
 }
 
 // Fence implements pfence: done runs once all previously issued writer
-// PEIs (from any core) have completed.
+// PEIs (from any core) have completed. Closure form of FenceEvent.
 func (p *PMU) Fence(done func()) {
+	p.FenceEvent(sim.Call(done))
+}
+
+// FenceEvent is the allocation-free form of Fence.
+func (p *PMU) FenceEvent(done sim.Cont) {
 	p.cFences.Inc()
-	p.Dir.Fence(done)
+	p.Dir.FenceEvent(done)
 }
 
 // Summary formats the steering statistics.
@@ -322,5 +424,6 @@ func (p *PMU) Summary() string {
 	if total > 0 {
 		pct = 100 * float64(mem) / float64(total)
 	}
+	//peilint:allow hotalloc end-of-run reporting, runs once per simulation
 	return fmt.Sprintf("%s: %d PEIs (%d host, %d memory, %.1f%% PIM)", p.Mode, total, host, mem, pct)
 }

@@ -18,6 +18,55 @@ import (
 // clock domain (4 GHz in the baseline configuration).
 type Cycle = int64
 
+// EventArg is the payload handed to a Handler when its event fires. Ptr
+// typically carries a pooled transaction (storing a pointer in an `any`
+// does not allocate) and N a small scalar such as a state-machine stage
+// or an address.
+type EventArg struct {
+	Ptr any
+	N   int64
+}
+
+// Handler receives event dispatch. Hot-path components implement it on a
+// pointer receiver (pooled transaction objects, or a component acting as
+// its own handler) so scheduling an event allocates nothing.
+type Handler interface {
+	OnEvent(arg EventArg)
+}
+
+// Cont is a suspended continuation: a handler plus the argument to
+// deliver to it. Components pass Cont values through their APIs instead
+// of `func()` callbacks so completion notification stays allocation-free.
+// The zero Cont is valid and means "no one to notify".
+type Cont struct {
+	H   Handler
+	Arg EventArg
+}
+
+// Invoke delivers the continuation now (synchronously). A zero Cont is a
+// no-op.
+func (c Cont) Invoke() {
+	if c.H != nil {
+		c.H.OnEvent(c.Arg)
+	}
+}
+
+// funcEvent adapts a bare closure to the Handler interface. A func value
+// is pointer-shaped, so the interface conversion does not allocate; the
+// closure itself may, which is why hot paths use typed handlers instead.
+type funcEvent func()
+
+func (f funcEvent) OnEvent(EventArg) { f() }
+
+// Call wraps a closure as a Cont for cold paths and compatibility
+// shims. A nil fn yields the zero (no-op) Cont.
+func Call(fn func()) Cont {
+	if fn == nil {
+		return Cont{}
+	}
+	return Cont{H: funcEvent(fn)}
+}
+
 // The kernel is a calendar queue: a ring of per-cycle FIFO buckets
 // covering the next ringWindow cycles, plus a min-heap overflow for
 // events farther out. Nearly all simulator events (cache pipelines, link
@@ -30,10 +79,18 @@ const (
 	occWords   = ringWindow / 64
 )
 
+// event is the uniform record stored in ring buckets and the far heap:
+// a handler and its argument. Closure-based scheduling goes through the
+// funcEvent adapter, so the queue itself never stores bare func values.
+type event struct {
+	h   Handler
+	arg EventArg
+}
+
 // bucket holds the events of one in-window cycle, dispatched FIFO via a
 // head cursor so same-cycle scheduling during dispatch stays ordered.
 type bucket struct {
-	fns  []func()
+	evs  []event
 	head int
 }
 
@@ -42,7 +99,7 @@ type bucket struct {
 type farEvent struct {
 	when Cycle
 	seq  uint64
-	fn   func()
+	ev   event
 }
 
 // Kernel is the discrete-event scheduler. The zero value is not usable;
@@ -76,26 +133,42 @@ func (k *Kernel) Now() Cycle { return k.now }
 
 // Schedule runs fn delay cycles from now. A delay of 0 runs fn later in
 // the current cycle, after all previously scheduled current-cycle events.
+// Closure variant for cold paths; hot paths use ScheduleEvent.
 func (k *Kernel) Schedule(delay Cycle, fn func()) {
-	if delay < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", delay))
-	}
-	k.At(k.now+delay, fn)
+	k.ScheduleEvent(delay, funcEvent(fn), EventArg{})
 }
 
 // At runs fn at the given absolute cycle, which must not be in the past.
+// Closure variant for cold paths; hot paths use AtEvent.
 func (k *Kernel) At(cycle Cycle, fn func()) {
+	k.AtEvent(cycle, funcEvent(fn), EventArg{})
+}
+
+// ScheduleEvent delivers arg to h delay cycles from now. A delay of 0
+// dispatches later in the current cycle, after all previously scheduled
+// current-cycle events. Scheduling itself never allocates in steady
+// state (bucket and heap storage is recycled).
+func (k *Kernel) ScheduleEvent(delay Cycle, h Handler, arg EventArg) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.AtEvent(k.now+delay, h, arg)
+}
+
+// AtEvent delivers arg to h at the given absolute cycle, which must not
+// be in the past.
+func (k *Kernel) AtEvent(cycle Cycle, h Handler, arg EventArg) {
 	if cycle < k.now {
 		panic(fmt.Sprintf("sim: schedule in the past (now %d, at %d)", k.now, cycle))
 	}
 	if cycle < k.base+ringWindow {
 		slot := int(cycle & ringMask)
-		k.ring[slot].fns = append(k.ring[slot].fns, fn)
+		k.ring[slot].evs = append(k.ring[slot].evs, event{h: h, arg: arg})
 		k.occ[slot>>6] |= 1 << uint(slot&63)
 		k.ringCount++
 		return
 	}
-	k.farPush(farEvent{when: cycle, seq: k.seq, fn: fn})
+	k.farPush(farEvent{when: cycle, seq: k.seq, ev: event{h: h, arg: arg}})
 	k.seq++
 }
 
@@ -134,7 +207,7 @@ func (k *Kernel) migrate() {
 	for len(k.far) > 0 && k.far[0].when < horizon {
 		e := k.farPop()
 		slot := int(e.when & ringMask)
-		k.ring[slot].fns = append(k.ring[slot].fns, e.fn)
+		k.ring[slot].evs = append(k.ring[slot].evs, e.ev)
 		k.occ[slot>>6] |= 1 << uint(slot&63)
 		k.ringCount++
 	}
@@ -150,6 +223,28 @@ func (k *Kernel) peek() (Cycle, bool) {
 		return k.far[0].when, true
 	}
 	return 0, false
+}
+
+// dispatch pops and runs the head event of cycle c's bucket, advancing
+// time to c. Precondition: c is the earliest pending cycle, already
+// inside the ring window (callers obtain it via nextRingCycle, jumping
+// base and migrating first when needed), so no bitmap rescan happens
+// here.
+func (k *Kernel) dispatch(c Cycle) {
+	slot := int(c & ringMask)
+	b := &k.ring[slot]
+	ev := b.evs[b.head]
+	b.evs[b.head] = event{} // release handler/arg references once run
+	b.head++
+	k.ringCount--
+	if b.head == len(b.evs) {
+		b.evs = b.evs[:0]
+		b.head = 0
+		k.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+	k.now = c
+	k.Executed++
+	ev.h.OnEvent(ev.arg)
 }
 
 // Step dispatches the next event, advancing time to its cycle. It reports
@@ -169,20 +264,7 @@ func (k *Kernel) Step() bool {
 		k.base = c
 		k.migrate()
 	}
-	slot := int(c & ringMask)
-	b := &k.ring[slot]
-	fn := b.fns[b.head]
-	b.fns[b.head] = nil // release the closure as soon as it has run
-	b.head++
-	k.ringCount--
-	if b.head == len(b.fns) {
-		b.fns = b.fns[:0]
-		b.head = 0
-		k.occ[slot>>6] &^= 1 << uint(slot&63)
-	}
-	k.now = c
-	k.Executed++
-	fn()
+	k.dispatch(c)
 	return true
 }
 
@@ -193,14 +275,28 @@ func (k *Kernel) Run() {
 }
 
 // RunUntil dispatches events with cycle <= limit, then sets time to limit
-// if the simulation got there. Events beyond limit remain queued.
+// if the simulation got there. Events beyond limit remain queued. The
+// loop scans the occupancy bitmap once per dispatched event: the cycle
+// found by the scan is compared against limit and dispatched directly,
+// rather than peeked at and then recomputed by Step.
 func (k *Kernel) RunUntil(limit Cycle) {
 	for {
-		c, ok := k.peek()
-		if !ok || c > limit {
+		if k.ringCount == 0 {
+			if len(k.far) == 0 || k.far[0].when > limit {
+				break
+			}
+			k.base = k.far[0].when
+			k.migrate()
+		}
+		c := k.nextRingCycle()
+		if c > limit {
 			break
 		}
-		k.Step()
+		if c != k.base {
+			k.base = c
+			k.migrate()
+		}
+		k.dispatch(c)
 	}
 	if k.now < limit {
 		k.now = limit
@@ -234,7 +330,7 @@ func (k *Kernel) farPop() farEvent {
 	top := h[0]
 	n := len(h) - 1
 	h[0] = h[n]
-	h[n] = farEvent{} // drop the closure reference
+	h[n] = farEvent{} // drop the handler reference
 	k.far = h[:n]
 	i := 0
 	for {

@@ -44,8 +44,19 @@ func NewLink(k *Kernel, bytesPerCycle float64, latency Cycle) *Link {
 
 // Send queues a transfer of the given number of bytes and invokes done
 // (if non-nil) when the payload has been delivered. It returns the cycle
-// at which delivery will occur.
+// at which delivery will occur. Closure variant for cold paths; hot
+// paths use SendEvent.
 func (l *Link) Send(bytes int, done func()) Cycle {
+	if done == nil {
+		return l.SendEvent(bytes, nil, EventArg{})
+	}
+	return l.SendEvent(bytes, funcEvent(done), EventArg{})
+}
+
+// SendEvent queues a transfer of the given number of bytes and delivers
+// arg to h (if non-nil) when the payload arrives. It returns the cycle
+// at which delivery will occur.
+func (l *Link) SendEvent(bytes int, h Handler, arg EventArg) Cycle {
 	if bytes <= 0 {
 		bytes = 1
 	}
@@ -60,8 +71,8 @@ func (l *Link) Send(bytes int, done func()) Cycle {
 	l.BytesTransferred += uint64(bytes)
 	l.FlitsTransferred += uint64((bytes + FlitBytes - 1) / FlitBytes)
 	at := end + l.Latency
-	if done != nil {
-		l.k.At(at, done)
+	if h != nil {
+		l.k.AtEvent(at, h, arg)
 	}
 	return at
 }

@@ -27,6 +27,10 @@ type hashjoin struct {
 	rRows, sRows int
 	goldenHits   int64
 	hits         int64
+
+	// chainScratch backs chainFor's result so the per-probe walks (one
+	// at table build, one per generated probe) do not allocate.
+	chainScratch []uint64
 }
 
 func newHashJoin(p Params) *hashjoin { return &hashjoin{p: p} }
@@ -98,20 +102,26 @@ func (w *hashjoin) insert(st *memlayout.Store, key uint64) {
 // chainFor computes the sequence of buckets a probe visits: every bucket
 // up to and including the first match (or the whole chain on a miss).
 // The table is read-only during probing, so this generation-time walk
-// matches what the PEIs will see at simulation time.
+// matches what the PEIs will see at simulation time. The returned slice
+// aliases a scratch buffer valid until the next chainFor call.
 func (w *hashjoin) chainFor(key uint64) (chain []uint64, hit bool) {
+	chain = w.chainScratch[:0]
 	b := w.bucketBase + uint64(w.hash(key))*addr.BlockBytes
-	for b != 0 {
+	for b != 0 && !hit {
 		chain = append(chain, b)
 		for slot := 0; slot < pim.HashBucketKeys; slot++ {
 			off := b + pim.HashBucketKeyOff + uint64(slot*pim.HashBucketStride)
 			if w.store.ReadU64(off) == key {
-				return chain, true
+				hit = true
+				break
 			}
 		}
-		b = w.store.ReadU64(b + pim.HashBucketNextOff)
+		if !hit {
+			b = w.store.ReadU64(b + pim.HashBucketNextOff)
+		}
 	}
-	return chain, false
+	w.chainScratch = chain
+	return chain, hit
 }
 
 func (w *hashjoin) Streams(m *machine.Machine) []cpu.Stream {
