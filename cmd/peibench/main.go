@@ -45,6 +45,8 @@ func main() {
 		only      = flag.String("workloads", "", "comma-separated workload subset (default all)")
 		out       = flag.String("out", "", "write tables to this file as well as stdout")
 		parallel  = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		kernel    = flag.String("kernel", "seq", "event kernel: seq|pdes (tables are byte-identical either way)")
+		kworkers  = flag.Int("kernelworkers", 0, "pdes epoch workers per simulation (0 = GOMAXPROCS)")
 		list      = flag.Bool("list", false, "list experiment names and exit")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -94,6 +96,8 @@ func main() {
 	opts.OpBudget = *budget
 	opts.Pairs = *pairs
 	opts.Parallelism = *parallel
+	opts.Kernel = *kernel
+	opts.KernelWorkers = *kworkers
 	if *full {
 		opts.Cfg = pei.BaselineConfig()
 	}

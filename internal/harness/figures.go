@@ -303,7 +303,11 @@ func (r *Runner) runPair(ctx context.Context, w1 string, s1 workloads.Size, w2 s
 	if err != nil {
 		return machine.Result{}, err
 	}
-	m, err := machine.New(cfg, mode)
+	km, err := machine.ParseKernelMode(r.Opts.Kernel)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	m, err := machine.New(cfg, mode, machine.WithKernel(km, r.Opts.KernelWorkers))
 	if err != nil {
 		return machine.Result{}, err
 	}

@@ -64,6 +64,14 @@ type Options struct {
 	// from multiple goroutines concurrently; the callback must be
 	// goroutine-safe and fast (it runs on the simulation worker).
 	Progress func(Progress)
+	// Kernel selects the event-execution engine per cell: "" or "seq"
+	// for the sequential kernel, "pdes" for the conservative parallel
+	// kernel with KernelWorkers epoch workers. Tables are byte-identical
+	// either way (the cross-kernel golden test pins this); pdes helps
+	// when a few large cells dominate, seq when many small cells already
+	// saturate Parallelism.
+	Kernel        string
+	KernelWorkers int
 }
 
 // Progress is one simulation-lifecycle event delivered to
@@ -375,7 +383,11 @@ func (r *Runner) runWorkload(ctx context.Context, name string, p workloads.Param
 	if err != nil {
 		return machine.Result{}, err
 	}
-	m, err := machine.New(cfg, mode)
+	km, err := machine.ParseKernelMode(r.Opts.Kernel)
+	if err != nil {
+		return machine.Result{}, err
+	}
+	m, err := machine.New(cfg, mode, machine.WithKernel(km, r.Opts.KernelWorkers))
 	if err != nil {
 		return machine.Result{}, err
 	}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pimsim/internal/workloads"
+)
+
+// renderFig6Small runs the Figure 6 (small inputs) experiment under the
+// given kernel selection and returns the rendered table bytes.
+func renderFig6Small(t *testing.T, kernel string, workers int) []byte {
+	t.Helper()
+	o := goldenOptions()
+	o.Kernel = kernel
+	o.KernelWorkers = workers
+	r := NewRunner(o)
+	tb, err := r.Fig6(context.Background(), workloads.Small)
+	if err != nil {
+		t.Fatalf("kernel=%s workers=%d: %v", kernel, workers, err)
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	return buf.Bytes()
+}
+
+// TestFig6SmallKernelEquivalence is the cross-kernel acceptance test:
+// the PDES kernel must reproduce the sequential kernel's rendered
+// Figure 6 table byte for byte at every worker count, including against
+// the checked-in golden file. Any divergence is a determinism bug in
+// the parallel kernel (merge order, lookahead, or shared state), never
+// an acceptable drift.
+func TestFig6SmallKernelEquivalence(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "fig6_small.golden"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	seq := renderFig6Small(t, "seq", 0)
+	if !bytes.Equal(seq, want) {
+		t.Fatalf("sequential table drifted from golden\n--- got ---\n%s", seq)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("pdes-w%d", workers), func(t *testing.T) {
+			got := renderFig6Small(t, "pdes", workers)
+			if !bytes.Equal(got, want) {
+				t.Errorf("pdes table (workers=%d) diverged from sequential\n--- pdes ---\n%s--- seq ---\n%s",
+					workers, got, want)
+			}
+		})
+	}
+}
+
+// TestFig2KernelEquivalence repeats the byte-identity check on the
+// Figure 2 graph sweep, which exercises different access patterns (and
+// therefore different PEI/response interleavings) than Figure 6.
+func TestFig2KernelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph sweep is slow")
+	}
+	render := func(kernel string, workers int) []byte {
+		o := tinyOptions()
+		o.Scale = 2048
+		o.OpBudget = 3_000
+		o.Kernel = kernel
+		o.KernelWorkers = workers
+		r := NewRunner(o)
+		tb, err := r.Fig2(context.Background())
+		if err != nil {
+			t.Fatalf("kernel=%s workers=%d: %v", kernel, workers, err)
+		}
+		var buf bytes.Buffer
+		tb.Render(&buf)
+		return buf.Bytes()
+	}
+	want := render("seq", 0)
+	for _, workers := range []int{1, 4, 8} {
+		got := render("pdes", workers)
+		if !bytes.Equal(got, want) {
+			t.Errorf("fig2 pdes table (workers=%d) diverged from sequential\n--- pdes ---\n%s--- seq ---\n%s",
+				workers, got, want)
+		}
+	}
+}

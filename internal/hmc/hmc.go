@@ -8,6 +8,7 @@ package hmc
 
 import (
 	"fmt"
+	"math"
 
 	"pimsim/internal/addr"
 	"pimsim/internal/dram"
@@ -16,8 +17,14 @@ import (
 )
 
 // Vault is one vertical DRAM partition plus its logic-die controller.
+// Under the PDES kernel each vault is its own partition: sched is the
+// partition's scheduler, reqSink carries host-to-vault link deliveries
+// in, and hostSink carries response-link posts back out. Under the
+// sequential kernel all three are the one global kernel.
 type Vault struct {
-	k         *sim.Kernel
+	sched     sim.Scheduler
+	reqSink   sim.EventSink
+	hostSink  sim.EventSink
 	cTSVBytes stats.Handle
 	Ctrl      *dram.Controller
 	// TSV is the vertical link between the logic die and the DRAM dies;
@@ -27,8 +34,17 @@ type Vault struct {
 	// Index is the global vault number (cube*vaultsPerCube + vault).
 	Index int
 
+	// respSeq numbers this vault's responses; together with the vault
+	// index it forms the canonical key that orders same-cycle response
+	// arrivals at the host (see Chain.flushResponses).
+	respSeq uint32
+
 	free []*vaultTxn // recycled block-transfer transactions
 }
+
+// Scheduler returns the scheduler of the partition the vault lives in;
+// vault-side components (the vault PCUs) must schedule on it.
+func (v *Vault) Scheduler() sim.Scheduler { return v.sched }
 
 // vaultTxn threads one block transfer through its two timed legs (DRAM
 // access and TSV crossing). The vault owns the pool; the transaction is
@@ -135,21 +151,52 @@ type Config struct {
 	// DispatchWindowCyc is the halving period for the request/response
 	// pressure counters (0 disables tracking).
 	DispatchWindowCyc sim.Cycle
+
+	// Partition wiring for the PDES kernel; all nil in sequential runs,
+	// in which case every vault schedules on the chain's own kernel and
+	// "posts" are plain insertions into the one global queue. VaultSched
+	// and VaultSink give global vault v's partition scheduler and its
+	// host-to-vault mailbox; HostSink gives vault v's vault-to-host
+	// mailbox; VaultReg gives the per-partition stats shard vault-side
+	// counters write into (merged into the main registry after the run).
+	VaultSched func(vault int) sim.Scheduler
+	VaultSink  func(vault int) sim.EventSink
+	HostSink   func(vault int) sim.EventSink
+	VaultReg   func(vault int) *stats.Registry
 }
 
 // Chain is the host-side view of the daisy-chained memory system: one
 // request link and one response link shared by all cubes, plus the cubes
 // themselves.
+//
+// The request link is sender-arbitrated at the host; the response link
+// is a shared channel with many senders (every vault), so it is
+// receiver-arbitrated: responses propagate to the host end first (cube
+// hops plus link latency, modeled vault-side) and serialize on arrival.
+// Same-cycle arrivals are ordered by the canonical (vault, response
+// sequence) key, which makes the response path deterministic under the
+// PDES kernel's epoch merges and identical under the sequential one.
 type Chain struct {
-	k     *sim.Kernel
+	k     sim.Scheduler
 	cfg   Config
 	Req   *sim.Link
-	Res   *sim.Link
 	Cubes []*Cube
 
 	// Per-packet byte/packet counters, resolved once at construction.
 	cReqBytes, cReqPackets stats.Handle
 	cResBytes, cResPackets stats.Handle
+
+	// Response-link serialization state (host side). ResBusy accumulates
+	// occupied cycles like Link.Busy does for the request direction.
+	resNextFree sim.Cycle
+	ResBusy     sim.Cycle
+
+	// batch collects response packets that reached the host end on the
+	// same cycle, awaiting canonical ordering; it is flushed lazily by
+	// the next arrival and, failing that, by a guard event one cycle
+	// later (see Chain.OnEvent).
+	batch      []*Txn
+	batchCycle sim.Cycle
 
 	// cReq/cRes are the paper's C_req/C_res flit counters, halved every
 	// DispatchWindowCyc to form an exponential moving average. Decay is
@@ -162,28 +209,48 @@ type Chain struct {
 	free []*Txn // recycled link transactions (wire buffers ride along)
 }
 
-// NewChain builds the memory system described by cfg.
-func NewChain(k *sim.Kernel, cfg Config, reg *stats.Registry) *Chain {
+// NewChain builds the memory system described by cfg. k is the host
+// partition's scheduler (the one global kernel in sequential runs).
+func NewChain(k sim.Scheduler, cfg Config, reg *stats.Registry) *Chain {
 	ch := &Chain{
 		k:           k,
 		cfg:         cfg,
 		Req:         sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
-		Res:         sim.NewLink(k, cfg.LinkBytesPerCycle, cfg.LinkLatency),
 		cReqBytes:   reg.Counter("offchip.req.bytes"),
 		cReqPackets: reg.Counter("offchip.req.packets"),
 		cResBytes:   reg.Counter("offchip.res.bytes"),
 		cResPackets: reg.Counter("offchip.res.packets"),
 	}
-	tsvBytes := reg.Counter("tsv.bytes")
 	for c := 0; c < cfg.Mapping.Cubes; c++ {
 		cube := &Cube{Index: c}
 		for v := 0; v < cfg.Mapping.VaultsPerCube; v++ {
 			idx := c*cfg.Mapping.VaultsPerCube + v
+			sched := sim.Scheduler(k)
+			if cfg.VaultSched != nil {
+				sched = cfg.VaultSched(idx)
+			}
+			// Off-chip link deliveries use the early lane so their
+			// order against same-cycle partition-local events is the
+			// same fixed rule under both kernels (DESIGN.md §12).
+			reqSink := sched.EarlySink()
+			if cfg.VaultSink != nil {
+				reqSink = cfg.VaultSink(idx)
+			}
+			hostSink := k.EarlySink()
+			if cfg.HostSink != nil {
+				hostSink = cfg.HostSink(idx)
+			}
+			vreg := reg
+			if cfg.VaultReg != nil {
+				vreg = cfg.VaultReg(idx)
+			}
 			vault := &Vault{
-				k:         k,
-				cTSVBytes: tsvBytes,
-				Ctrl:      dram.NewController(k, cfg.Mapping.BanksPerVault, cfg.Timing, reg, "dram."),
-				TSV:       sim.NewLink(k, cfg.TSVBytesPerCycle, cfg.TSVLatency),
+				sched:     sched,
+				reqSink:   reqSink,
+				hostSink:  hostSink,
+				cTSVBytes: vreg.Counter("tsv.bytes"),
+				Ctrl:      dram.NewController(sched, cfg.Mapping.BanksPerVault, cfg.Timing, vreg, "dram."),
+				TSV:       sim.NewLink(sched, cfg.TSVBytesPerCycle, cfg.TSVLatency),
 				Index:     idx,
 			}
 			cube.Vaults = append(cube.Vaults, vault)
@@ -212,6 +279,12 @@ func (ch *Chain) decayPressure() {
 			break
 		}
 	}
+}
+
+// VaultAt returns the vault with global index v.
+func (ch *Chain) VaultAt(v int) *Vault {
+	per := ch.cfg.Mapping.VaultsPerCube
+	return ch.Cubes[v/per].Vaults[v%per]
 }
 
 // VaultFor returns the vault owning address a.
@@ -261,6 +334,11 @@ type Txn struct {
 
 	respBytes int
 	respDone  sim.Cont
+	// rkey is the canonical response-arbitration key, assigned when the
+	// response is issued at the vault: vault index in the high bits, the
+	// vault's response sequence in the low bits. Same-cycle arrivals at
+	// the host serialize in rkey order.
+	rkey uint64
 
 	wire []byte // encoded request; capacity reused across transactions
 	pkt  Packet // encode/decode scratch (payload aliases wire after decode)
@@ -279,22 +357,26 @@ const (
 	// chainStageAtVault: decode (CRC-check) the request and hand it to
 	// the visitor or the built-in read/write handling.
 	chainStageAtVault
-	// chainStageHopOut: the response finished its cube hops; enter the
-	// response link and release the transaction.
+	// chainStageHopOut: the response finished its cube hops; propagate
+	// across the link to the host end (the response direction is
+	// receiver-arbitrated, so serialization happens on arrival).
 	chainStageHopOut
+	// chainStageResArrive: the response reached the host end of the
+	// link; join the current cycle's arbitration batch.
+	chainStageResArrive
 	// chainStageBlockRead: a CmdRead's vault access finished; respond
 	// with the block.
 	chainStageBlockRead
-	// chainStageBlockWritten: a CmdWrite's DRAM write restored; notify
-	// the (posted) completion, then send the header-only ack.
+	// chainStageBlockWritten: a CmdWrite's DRAM write restored; the
+	// completion notification rides the header-only ack back to the
+	// host (the host cannot observe the restore any earlier).
 	chainStageBlockWritten
 )
 
 func (t *Txn) OnEvent(arg sim.EventArg) {
-	ch := t.ch
 	switch arg.N {
 	case chainStageHopIn:
-		ch.k.ScheduleEvent(t.hop, t, sim.EventArg{N: chainStageAtVault})
+		t.v.sched.ScheduleEvent(t.hop, t, sim.EventArg{N: chainStageAtVault})
 	case chainStageAtVault:
 		err := DecodeInto(&t.pkt, t.wire)
 		if err != nil || t.pkt.Addr != t.addr || t.pkt.Cmd != t.cmd {
@@ -311,31 +393,96 @@ func (t *Txn) OnEvent(arg sim.EventArg) {
 			panic("hmc: request delivered with no visitor")
 		}
 	case chainStageHopOut:
-		total, done := t.respBytes, t.respDone
-		ch.putTxn(t)
-		ch.Res.SendEvent(total, done.H, done.Arg)
+		v := t.v
+		v.hostSink.PostEvent(v.sched.Now()+t.ch.cfg.LinkLatency, t, sim.EventArg{N: chainStageResArrive})
+	case chainStageResArrive:
+		t.ch.resArrive(t)
 	case chainStageBlockRead:
 		t.Respond(addr.BlockBytes, t.done)
 	default: // chainStageBlockWritten
-		t.done.Invoke()
-		t.Respond(0, sim.Cont{})
+		t.Respond(0, t.done)
 	}
 }
 
 // Respond sends a response packet of respBytes payload (header added)
 // back to the host, invoking done on delivery, and schedules the
 // transaction's release. It must be called exactly once per delivered
-// transaction.
+// transaction. Respond runs vault-side: it assigns the canonical
+// arbitration key and starts the cube hops; traffic and pressure
+// accounting happen at the host when the packet arrives.
 func (t *Txn) Respond(respBytes int, done sim.Cont) {
-	ch := t.ch
-	total := ch.cfg.PacketHeaderBytes + respBytes
-	ch.decayPressure()
-	ch.cRes += float64((total + sim.FlitBytes - 1) / sim.FlitBytes)
-	ch.cResBytes.Add(int64(total))
-	ch.cResPackets.Inc()
-	t.respBytes = total
+	v := t.v
+	t.respBytes = t.ch.cfg.PacketHeaderBytes + respBytes
 	t.respDone = done
-	ch.k.ScheduleEvent(t.hop, t, sim.EventArg{N: chainStageHopOut})
+	v.respSeq++
+	t.rkey = uint64(v.Index)<<32 | uint64(v.respSeq)
+	v.sched.ScheduleEvent(t.hop, t, sim.EventArg{N: chainStageHopOut})
+}
+
+// resArrive joins a response packet to the current cycle's arbitration
+// batch at the host end of the response link. The first packet of a
+// cycle schedules a guard flush one cycle later; a packet arriving on a
+// later cycle flushes eagerly. Same-cycle arrivals therefore always
+// serialize together, in canonical order, whichever path flushes them.
+func (ch *Chain) resArrive(t *Txn) {
+	now := ch.k.Now()
+	if len(ch.batch) > 0 && ch.batchCycle != now {
+		ch.flushResponses()
+	}
+	if len(ch.batch) == 0 {
+		ch.batchCycle = now
+		ch.k.AtEvent(now+1, ch, sim.EventArg{N: now})
+	}
+	ch.batch = append(ch.batch, t)
+}
+
+// OnEvent is the guard flush: arg.N carries the batch cycle it guards,
+// so a batch already flushed by a later arrival (which reuses the batch
+// slice for a new cycle) is left alone.
+func (ch *Chain) OnEvent(arg sim.EventArg) {
+	if len(ch.batch) > 0 && ch.batchCycle == arg.N {
+		ch.flushResponses()
+	}
+}
+
+// flushResponses serializes the batched same-cycle arrivals onto the
+// host end of the response link in canonical (vault, sequence) order,
+// accounting traffic and pressure and delivering each completion when
+// its serialization slot ends. Propagation was already paid before
+// arrival, so no further latency is added. The canonical sort makes the
+// response path independent of event-queue tie order, which is what
+// keeps the sequential and PDES kernels bit-identical.
+func (ch *Chain) flushResponses() {
+	batch := ch.batch
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && batch[j-1].rkey > batch[j].rkey; j-- {
+			batch[j-1], batch[j] = batch[j], batch[j-1]
+		}
+	}
+	start := ch.batchCycle
+	if ch.resNextFree > start {
+		start = ch.resNextFree
+	}
+	for _, t := range batch {
+		total, done := t.respBytes, t.respDone
+		occ := sim.Cycle(math.Ceil(float64(total) / ch.cfg.LinkBytesPerCycle))
+		end := start + occ
+		ch.resNextFree = end
+		ch.ResBusy += occ
+		ch.decayPressure()
+		ch.cRes += float64((total + sim.FlitBytes - 1) / sim.FlitBytes)
+		ch.cResBytes.Add(int64(total))
+		ch.cResPackets.Inc()
+		ch.putTxn(t)
+		if done.H != nil {
+			ch.k.AtEvent(end, done.H, done.Arg)
+		}
+		start = end
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	ch.batch = batch[:0]
 }
 
 func (ch *Chain) getTxn() *Txn {
@@ -392,7 +539,7 @@ func (ch *Chain) DeliverEvent(a uint64, cmd Command, subcmd uint8, payload []byt
 	ch.cReq += float64((reqBytes + sim.FlitBytes - 1) / sim.FlitBytes)
 	ch.cReqBytes.Add(int64(reqBytes))
 	ch.cReqPackets.Inc()
-	ch.Req.SendEvent(reqBytes, t, sim.EventArg{N: chainStageHopIn})
+	ch.Req.SendEventTo(v.reqSink, reqBytes, t, sim.EventArg{N: chainStageHopIn})
 }
 
 // visitFunc adapts the closure-based Deliver signature to VaultVisitor

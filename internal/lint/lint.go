@@ -1,7 +1,8 @@
-// Package lint is the project's static-analysis suite: four analyzers
+// Package lint is the project's static-analysis suite: five analyzers
 // that turn the simulator's determinism and hot-path invariants (byte-
 // identical tables at any parallelism, zero-allocation event kernel,
-// context-first public entry points) into machine-checked law, plus the
+// context-first public entry points, single-threaded partition code)
+// into machine-checked law, plus the
 // waiver directive that documents every deliberate exception.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis
@@ -213,7 +214,7 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// Analyzers returns the full suite in a stable order: the four
+// Analyzers returns the full suite in a stable order: the five
 // invariant analyzers plus the waiver validator.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -221,6 +222,7 @@ func Analyzers() []*Analyzer {
 		StatsHandle,
 		CtxFirst,
 		HotAlloc,
+		PartSafe,
 		Waiver,
 	}
 }
@@ -235,5 +237,5 @@ const waiverAnalyzerName = "waiver"
 // omitted — and not referenced via Analyzers() to avoid an
 // initialization cycle back into the Waiver variable).
 func analyzerNames() []string {
-	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name}
+	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name, PartSafe.Name}
 }

@@ -13,6 +13,7 @@ func TestSimDeterm(t *testing.T)   { AnalyzerTest(t, SimDeterm, "simdeterm") }
 func TestStatsHandle(t *testing.T) { AnalyzerTest(t, StatsHandle, "statshandle") }
 func TestCtxFirst(t *testing.T)    { AnalyzerTest(t, CtxFirst, "ctxfirst") }
 func TestHotAlloc(t *testing.T)    { AnalyzerTest(t, HotAlloc, "hotalloc") }
+func TestPartSafe(t *testing.T)    { AnalyzerTest(t, PartSafe, "partsafe") }
 
 // TestWaiverValidation covers the waiver mechanism itself: a directive
 // with a typo'd analyzer name, a missing reason, or no arguments at all
@@ -75,7 +76,12 @@ func TestAnalyzerScope(t *testing.T) {
 		{HotAlloc, "internal/pim", true},
 		{HotAlloc, "internal/cpu", false},
 		{HotAlloc, "internal/workloads", false},
-		{Waiver, "internal/graph", true}, // waiver validates everywhere
+		{PartSafe, "internal/hmc", true},
+		{PartSafe, "internal/machine", true},
+		{PartSafe, "internal/workloads", true},
+		{PartSafe, "internal/sim", false},   // the sanctioned home for concurrency
+		{PartSafe, "internal/serve", false}, // concurrent by design, outside the simulator
+		{Waiver, "internal/graph", true},    // waiver validates everywhere
 		{Waiver, "cmd/peilint", true},
 	}
 	for _, c := range cases {

@@ -1,0 +1,98 @@
+// The partsafe analyzer: the PDES kernel runs each partition's events on
+// whichever worker goroutine claims it, so component state is touched
+// from multiple OS threads across epochs. That is only safe because
+// component code is single-threaded *within* an epoch and every
+// cross-partition interaction goes through sim.Link into a mailbox. The
+// analyzer enforces the discipline that makes this hold: simulator
+// component packages may not spawn goroutines, select, send on
+// channels, create channels, or import sync/sync/atomic — concurrency
+// lives exclusively in internal/sim's PDES engine. Generation-time
+// exceptions (e.g. a cross-run dataset cache) carry explicit
+// //peilint:allow partsafe waivers with a reason.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// partPackages is the partition-residency perimeter: every package whose
+// code can execute inside a PDES partition (event handlers and the state
+// they touch), plus the machine layer that wires partitions together.
+// internal/sim is deliberately absent — it is the one sanctioned home
+// for goroutines and synchronization.
+var partPackages = []string{
+	"internal/cache",
+	"internal/cpu",
+	"internal/dram",
+	"internal/hmc",
+	"internal/pim",
+	"internal/vm",
+	"internal/machine",
+	"internal/memlayout",
+	"internal/stats",
+	"internal/workloads",
+}
+
+// PartSafe forbids concurrency primitives in partition-resident code.
+var PartSafe = &Analyzer{
+	Name: "partsafe",
+	Doc: "simulator component packages must stay single-threaded: no go " +
+		"statements, select, channel sends, channel construction, or " +
+		"sync/sync-atomic imports outside internal/sim's PDES engine, so " +
+		"partitions never share mutable state except through sim.Link " +
+		"mailboxes; generation-time exceptions are waived explicitly",
+	Packages: partPackages,
+	Run:      runPartSafe,
+}
+
+func runPartSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				pass.Reportf(imp.Pos(),
+					"import %q in partition-resident code: component state must not be shared across goroutines; synchronization lives only in internal/sim's PDES engine",
+					path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement in partition-resident code: partitions are single-threaded, and cross-partition events go through sim.Link mailboxes; goroutines live only in internal/sim's PDES engine")
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select in partition-resident code: event ordering comes from the kernel's calendar queue, not channels; concurrency lives only in internal/sim's PDES engine")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"channel send in partition-resident code: cross-partition communication goes through sim.Link mailboxes, not channels")
+			case *ast.CallExpr:
+				checkChanMake(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkChanMake flags make(chan ...) — creating a channel in component
+// code is the first step of every forbidden pattern above.
+func checkChanMake(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if _, isChan := call.Args[0].(*ast.ChanType); isChan {
+		pass.Reportf(call.Pos(),
+			"make(chan) in partition-resident code: channels belong to internal/sim's PDES engine, not simulator components")
+	}
+}

@@ -1,0 +1,35 @@
+// Seeded violations and accepted patterns for the partsafe analyzer.
+package partsafe
+
+import (
+	"sort"
+	"sync"        // want `import "sync" in partition-resident code`
+	"sync/atomic" // want `import "sync/atomic" in partition-resident code`
+)
+
+// Controller stands in for a partition-resident component.
+type Controller struct {
+	pending []int
+	count   atomic.Int64
+	mu      sync.Mutex
+}
+
+// Tick is an event handler; spawning work from it is flagged.
+func (c *Controller) Tick() {
+	go c.drain() // want `go statement in partition-resident code`
+}
+
+// drain shows the remaining forbidden shapes.
+func (c *Controller) drain() {
+	done := make(chan struct{}) // want `make\(chan\) in partition-resident code`
+	done <- struct{}{}          // want `channel send in partition-resident code`
+	select {                    // want `select in partition-resident code`
+	case <-done:
+	default:
+	}
+}
+
+// Sort is plain single-threaded component code: accepted.
+func (c *Controller) Sort() {
+	sort.Ints(c.pending)
+}

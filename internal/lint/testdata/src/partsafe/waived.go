@@ -1,0 +1,31 @@
+// Waived exceptions: a generation-time cache that legitimately lives
+// outside the partition discipline. No want comments here — the test
+// passes only if the directives actually suppress the diagnostics.
+package partsafe
+
+import (
+	"sync" //peilint:allow partsafe generation-time cache only; immutable values, never touched by event handlers
+)
+
+// cache memoizes expensive generated inputs across harness cells.
+var cache sync.Map
+
+// Memo returns the cached value for k, computing it once.
+func Memo(k string, v int) int {
+	if got, ok := cache.Load(k); ok {
+		return got.(int)
+	}
+	cache.Store(k, v)
+	return v
+}
+
+// Warm prefetches the cache on a background goroutine before any
+// simulation starts; waived because no partition exists yet.
+func Warm(keys []string) {
+	//peilint:allow partsafe pre-simulation warmup; runs before any partition is created
+	go func() {
+		for _, k := range keys {
+			Memo(k, len(k))
+		}
+	}()
+}

@@ -8,6 +8,7 @@ package machine
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"pimsim/internal/cache"
 	"pimsim/internal/config"
@@ -22,6 +23,51 @@ import (
 	"pimsim/internal/vm"
 )
 
+// KernelMode selects the event-execution engine: the sequential kernel
+// (the oracle) or the conservative-PDES parallel kernel. Both produce
+// bit-identical results; pdes trades per-epoch synchronization overhead
+// for multi-core wall clock on large cells.
+type KernelMode int
+
+const (
+	KernelSeq KernelMode = iota
+	KernelPDES
+)
+
+// ParseKernelMode parses a user-facing kernel name. The empty string
+// means sequential.
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch s {
+	case "", "seq":
+		return KernelSeq, nil
+	case "pdes":
+		return KernelPDES, nil
+	}
+	return 0, fmt.Errorf("machine: unknown kernel %q (want seq or pdes)", s)
+}
+
+func (m KernelMode) String() string {
+	if m == KernelPDES {
+		return "pdes"
+	}
+	return "seq"
+}
+
+// Option configures machine construction.
+type Option func(*buildOptions)
+
+type buildOptions struct {
+	kernel  KernelMode
+	workers int
+}
+
+// WithKernel selects the execution engine and, for KernelPDES, the
+// worker goroutine count (0 or less means GOMAXPROCS; 1 runs the full
+// epoch protocol inline, which is the cheapest way to validate it).
+func WithKernel(km KernelMode, workers int) Option {
+	return func(o *buildOptions) { o.kernel = km; o.workers = workers }
+}
+
 // Machine is a fully wired simulated system.
 type Machine struct {
 	K     *sim.Kernel
@@ -32,18 +78,33 @@ type Machine struct {
 	Store *memlayout.Store
 	PMU   *pim.PMU
 	Cores []*cpu.Core
+
+	// pdes is non-nil when the machine runs on the parallel kernel; K
+	// then aliases the host partition's calendar queue and shards holds
+	// the per-vault stats registries merged into Reg by collect.
+	pdes   *sim.PDES
+	shards []*stats.Registry
 }
 
 // New builds a machine for cfg in the given mode. cfg is cloned; the
 // caller's copy is not retained.
-func New(cfg *config.Config, mode pim.Mode) (*Machine, error) {
+func New(cfg *config.Config, mode pim.Mode, opts ...Option) (*Machine, error) {
 	cfg = cfg.Clone()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	k := sim.NewKernel()
+	var bo buildOptions
+	for _, o := range opts {
+		o(&bo)
+	}
+	var (
+		k      *sim.Kernel
+		sched  sim.Scheduler
+		pd     *sim.PDES
+		shards []*stats.Registry
+	)
 	reg := stats.NewRegistry()
-	chain := hmc.NewChain(k, hmc.Config{
+	hmcCfg := hmc.Config{
 		Mapping:           cfg.Mapping(),
 		Timing:            dram.Timing{TCL: cfg.TCL, TRCD: cfg.TRCD, TRP: cfg.TRP, IssueGap: 2, TREFI: cfg.TREFI, TRFC: cfg.TRFC},
 		LinkBytesPerCycle: cfg.LinkBytesPerCycle,
@@ -53,16 +114,46 @@ func New(cfg *config.Config, mode pim.Mode) (*Machine, error) {
 		TSVLatency:        cfg.TSVLatency,
 		PacketHeaderBytes: cfg.PacketHeaderBytes,
 		DispatchWindowCyc: cfg.DispatchWindowCyc,
-	}, reg)
-	hier := cache.NewHierarchy(k, cfg, chain, reg)
+	}
+	if bo.kernel == KernelPDES {
+		// Partition 0 is the host (cores, caches, PMU, chain front-end);
+		// partition 1+v is vault v (its DRAM controller, TSV link, and
+		// vault PCU). The only cross-partition latencies are the off-chip
+		// link's, so the link latency is the lookahead window.
+		if cfg.LinkLatency < 1 {
+			return nil, fmt.Errorf("machine: pdes kernel needs LinkLatency >= 1 for lookahead (have %d)", cfg.LinkLatency)
+		}
+		nv := cfg.Mapping().VaultsTotal()
+		workers := bo.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		pd = sim.NewPDES(cfg.LinkLatency, 1+nv, workers)
+		host := pd.Part(0)
+		k = &host.Kernel
+		sched = host
+		shards = make([]*stats.Registry, nv)
+		for v := range shards {
+			shards[v] = stats.NewRegistry()
+		}
+		hmcCfg.VaultSched = func(v int) sim.Scheduler { return pd.Part(1 + v) }
+		hmcCfg.VaultSink = func(v int) sim.EventSink { return pd.Sink(0, 1+v) }
+		hmcCfg.HostSink = func(v int) sim.EventSink { return pd.Sink(1+v, 0) }
+		hmcCfg.VaultReg = func(v int) *stats.Registry { return shards[v] }
+	} else {
+		k = sim.NewKernel()
+		sched = k
+	}
+	chain := hmc.NewChain(sched, hmcCfg, reg)
+	hier := cache.NewHierarchy(sched, cfg, chain, reg)
 	store := memlayout.NewStore()
-	pmu := pim.NewPMU(k, cfg, hier, chain, store, mode, reg)
-	m := &Machine{K: k, Cfg: cfg, Reg: reg, Chain: chain, Hier: hier, Store: store, PMU: pmu}
+	pmu := pim.NewPMU(sched, cfg, hier, chain, store, mode, reg)
+	m := &Machine{K: k, Cfg: cfg, Reg: reg, Chain: chain, Hier: hier, Store: store, PMU: pmu, pdes: pd, shards: shards}
 	var mem cpu.MemPort = hier
 	var peiPort cpu.PEIPort = pmu
 	if cfg.EnableVM {
 		layer := &vmLayer{
-			k:       k,
+			k:       sched,
 			pt:      vm.NewPageTable(0),
 			missLat: sim.Cycle(cfg.TLBMissLatency),
 			hier:    hier,
@@ -74,14 +165,14 @@ func New(cfg *config.Config, mode pim.Mode) (*Machine, error) {
 		mem, peiPort = layer, layer
 	}
 	for i := 0; i < cfg.Cores; i++ {
-		m.Cores = append(m.Cores, cpu.NewCore(i, k, cfg.IssueWidth, cfg.WindowSize, cfg.MaxOps, mem, peiPort))
+		m.Cores = append(m.Cores, cpu.NewCore(i, sched, cfg.IssueWidth, cfg.WindowSize, cfg.MaxOps, mem, peiPort))
 	}
 	return m, nil
 }
 
 // MustNew is New for presets known to be valid.
-func MustNew(cfg *config.Config, mode pim.Mode) *Machine {
-	m, err := New(cfg, mode)
+func MustNew(cfg *config.Config, mode pim.Mode, opts ...Option) *Machine {
+	m, err := New(cfg, mode, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -149,13 +240,19 @@ func (m *Machine) RunContext(ctx context.Context, streams []cpu.Stream) (Result,
 	if started == 0 {
 		return Result{}, fmt.Errorf("machine: no streams to run")
 	}
-	if ctx.Done() == nil {
+	if m.pdes != nil {
+		// The PDES engine checks ctx once per epoch itself.
+		if err := m.pdes.Run(ctx); err != nil {
+			return Result{}, err
+		}
+	} else if ctx.Done() == nil {
 		m.K.Run()
 	} else {
 		// checkEvery trades cancellation latency (one batch of events,
 		// microseconds of wall clock) against per-event select overhead.
 		const checkEvery = 8192
 		for m.K.Pending() > 0 {
+			//peilint:allow partsafe top-level cancellation driver between event batches; no partition exists on the sequential kernel
 			select {
 			case <-ctx.Done():
 				return Result{}, ctx.Err()
@@ -174,9 +271,20 @@ func (m *Machine) RunContext(ctx context.Context, streams []cpu.Stream) (Result,
 }
 
 func (m *Machine) collect() Result {
+	// Fold the per-vault registry shards of a PDES run into the main
+	// registry first, so every probe below sees the whole system.
+	// Addition commutes, so shard order cannot affect the result.
+	for _, s := range m.shards {
+		m.Reg.AddAll(s)
+	}
+	m.shards = nil
+	cycles := m.K.Now()
+	if m.pdes != nil {
+		cycles = m.pdes.MaxNow()
+	}
 	r := Result{
 		Mode:         m.PMU.Mode,
-		Cycles:       m.K.Now(),
+		Cycles:       cycles,
 		PEIHost:      m.Reg.Get("pei.host"),
 		PEIMem:       m.Reg.Get("pei.mem"),
 		PEIs:         m.Reg.Get("pei.total"),

@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"pimsim/internal/config"
+	"pimsim/internal/cpu"
+	"pimsim/internal/pim"
+)
+
+// mixedStream exercises every cross-partition path: PEIs (offloadable),
+// plain loads and stores (cache miss traffic over the chain), and
+// compute ops, spread across blocks so several vaults are active at
+// once.
+func mixedStream(base uint64, n, lane int) *cpu.SliceStream {
+	s := &cpu.SliceStream{}
+	for i := 0; i < n; i++ {
+		a := base + uint64(((i*7+lane*13)%96)*64)
+		switch i % 5 {
+		case 0, 1:
+			s.Ops = append(s.Ops, cpu.Op{Kind: cpu.OpPEI, PEI: &pim.PEI{Op: pim.OpInc64, Target: a}})
+		case 2:
+			s.Ops = append(s.Ops, cpu.Op{Kind: cpu.OpLoad, Addr: a})
+		case 3:
+			s.Ops = append(s.Ops, cpu.Op{Kind: cpu.OpStore, Addr: a})
+		default:
+			s.Ops = append(s.Ops, cpu.Op{Kind: cpu.OpCompute, Cycles: 3})
+		}
+	}
+	return s
+}
+
+func runOnce(t *testing.T, mode pim.Mode, opts ...Option) Result {
+	t.Helper()
+	cfg := config.Scaled()
+	m := MustNew(cfg, mode, opts...)
+	base := m.Store.Alloc(96*64, 64)
+	streams := make([]cpu.Stream, len(m.Cores))
+	for i := range streams {
+		streams[i] = mixedStream(base, 400, i)
+	}
+	res, err := m.Run(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPDESMatchesSequential is the oracle test: the PDES kernel must
+// reproduce the sequential kernel's Result — cycle count, every
+// counter, energy — bit for bit, at every worker count, in every mode.
+func TestPDESMatchesSequential(t *testing.T) {
+	for _, mode := range []pim.Mode{pim.HostOnly, pim.PIMOnly, pim.LocalityAware, pim.IdealHost} {
+		seq := runOnce(t, mode)
+		for _, workers := range []int{1, 4, 8} {
+			got := runOnce(t, mode, WithKernel(KernelPDES, workers))
+			if !reflect.DeepEqual(seq, got) {
+				for k, v := range seq.Stats {
+					if got.Stats[k] != v {
+						t.Errorf("%v workers=%d: stat %q = %d, seq %d", mode, workers, k, got.Stats[k], v)
+					}
+				}
+				t.Fatalf("%v workers=%d: pdes result diverged from sequential (cycles %d vs %d)",
+					mode, workers, got.Cycles, seq.Cycles)
+			}
+		}
+	}
+}

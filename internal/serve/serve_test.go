@@ -501,3 +501,51 @@ func TestExperimentsEndpointAndBadSpecs(t *testing.T) {
 		t.Fatalf("missing job: %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestKernelChoiceCoalescesInCache pins the JobSpec.Digest exclusion of
+// the execution-engine knobs: a sequential-kernel submission and a
+// PDES-kernel submission of the same job are the same job (both kernels
+// produce byte-identical output), so the second is a pure cache hit and
+// the simulation runs exactly once.
+func TestKernelChoiceCoalescesInCache(t *testing.T) {
+	var runs atomic.Int64
+	opts := Options{Workers: 1, QueueDepth: 4}
+	opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+		runs.Add(1)
+		fmt.Fprintln(w, "kernel-independent result")
+		return nil
+	}
+	_, ts := newTestServer(t, opts)
+
+	seq := workloadSpec(11)
+	seq.Kernel = "seq"
+	status, leader := submit(t, ts, seq)
+	if status != http.StatusAccepted {
+		t.Fatalf("seq submit status %d", status)
+	}
+	if v := waitTerminal(t, ts, leader.ID); v.State != StateDone {
+		t.Fatalf("seq job ended %s (%s)", v.State, v.Error)
+	}
+
+	pdes := workloadSpec(11)
+	pdes.Kernel = "pdes"
+	pdes.KernelWorkers = 4
+	status, v := submit(t, ts, pdes)
+	if status != http.StatusOK || v.State != StateDone || !v.CacheHit {
+		t.Fatalf("pdes resubmit: status %d state %s cacheHit %v (kernel choice split the cache)",
+			status, v.State, v.CacheHit)
+	}
+	if v.Digest != leader.Digest {
+		t.Fatalf("digests differ: seq %s pdes %s", leader.Digest, v.Digest)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("simulated %d times, want exactly 1", got)
+	}
+
+	// An invalid kernel name is rejected at admission, not at run time.
+	bad := workloadSpec(11)
+	bad.Kernel = "warp-drive"
+	if status, _ := submit(t, ts, bad); status != http.StatusBadRequest {
+		t.Fatalf("bad kernel: %d, want 400", status)
+	}
+}

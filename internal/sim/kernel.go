@@ -87,19 +87,29 @@ type event struct {
 	arg EventArg
 }
 
-// bucket holds the events of one in-window cycle, dispatched FIFO via a
-// head cursor so same-cycle scheduling during dispatch stays ordered.
+// bucket holds the events of one in-window cycle in two FIFO lanes:
+// the early lane carries cross-partition link deliveries (AtEventEarly)
+// and dispatches before the normal lane. The split makes the relative
+// order of a link arrival and a same-cycle local event a fixed rule —
+// arrivals first — instead of an artifact of queue insertion time,
+// which is the property that lets the PDES kernel (whose mailbox drains
+// insert arrivals at epoch barriers, not at send time) reproduce the
+// sequential kernel byte for byte.
 type bucket struct {
-	evs  []event
-	head int
+	early []event
+	ehead int
+	evs   []event
+	head  int
 }
 
 // farEvent is an event beyond the ring's horizon. seq breaks ties so
-// same-cycle far events migrate into their bucket in scheduling order.
+// same-cycle far events migrate into their bucket in scheduling order;
+// early marks which lane the event belongs to.
 type farEvent struct {
-	when Cycle
-	seq  uint64
-	ev   event
+	when  Cycle
+	seq   uint64
+	early bool
+	ev    event
 }
 
 // Kernel is the discrete-event scheduler. The zero value is not usable;
@@ -172,6 +182,29 @@ func (k *Kernel) AtEvent(cycle Cycle, h Handler, arg EventArg) {
 	k.seq++
 }
 
+// AtEventEarly delivers arg to h at the given absolute cycle in the
+// bucket's early lane: it dispatches before every normal-lane event of
+// that cycle, regardless of when either was inserted. It exists for
+// cross-partition link deliveries only (see EarlySink and the PDES
+// mailbox drain) — the fixed arrivals-before-locals rule is what keeps
+// both kernels' same-cycle order identical. The cycle must be strictly
+// in the future: link serialization guarantees that, and an early
+// insert into the currently dispatching bucket would be unreachable.
+func (k *Kernel) AtEventEarly(cycle Cycle, h Handler, arg EventArg) {
+	if cycle <= k.now && !(cycle == 0 && k.now == 0 && k.Executed == 0) {
+		panic(fmt.Sprintf("sim: early event not in the future (now %d, at %d)", k.now, cycle))
+	}
+	if cycle < k.base+ringWindow {
+		slot := int(cycle & ringMask)
+		k.ring[slot].early = append(k.ring[slot].early, event{h: h, arg: arg})
+		k.occ[slot>>6] |= 1 << uint(slot&63)
+		k.ringCount++
+		return
+	}
+	k.farPush(farEvent{when: cycle, seq: k.seq, early: true, ev: event{h: h, arg: arg}})
+	k.seq++
+}
+
 // Pending reports the number of queued events.
 func (k *Kernel) Pending() int { return k.ringCount + len(k.far) }
 
@@ -207,7 +240,11 @@ func (k *Kernel) migrate() {
 	for len(k.far) > 0 && k.far[0].when < horizon {
 		e := k.farPop()
 		slot := int(e.when & ringMask)
-		k.ring[slot].evs = append(k.ring[slot].evs, e.ev)
+		if e.early {
+			k.ring[slot].early = append(k.ring[slot].early, e.ev)
+		} else {
+			k.ring[slot].evs = append(k.ring[slot].evs, e.ev)
+		}
 		k.occ[slot>>6] |= 1 << uint(slot&63)
 		k.ringCount++
 	}
@@ -233,11 +270,20 @@ func (k *Kernel) peek() (Cycle, bool) {
 func (k *Kernel) dispatch(c Cycle) {
 	slot := int(c & ringMask)
 	b := &k.ring[slot]
-	ev := b.evs[b.head]
-	b.evs[b.head] = event{} // release handler/arg references once run
-	b.head++
+	var ev event
+	if b.ehead < len(b.early) {
+		ev = b.early[b.ehead]
+		b.early[b.ehead] = event{} // release handler/arg references once run
+		b.ehead++
+	} else {
+		ev = b.evs[b.head]
+		b.evs[b.head] = event{}
+		b.head++
+	}
 	k.ringCount--
-	if b.head == len(b.evs) {
+	if b.ehead == len(b.early) && b.head == len(b.evs) {
+		b.early = b.early[:0]
+		b.ehead = 0
 		b.evs = b.evs[:0]
 		b.head = 0
 		k.occ[slot>>6] &^= 1 << uint(slot&63)
@@ -300,6 +346,32 @@ func (k *Kernel) RunUntil(limit Cycle) {
 	}
 	if k.now < limit {
 		k.now = limit
+	}
+}
+
+// RunUpTo dispatches events with cycle <= limit and leaves time at the
+// last dispatched event. Unlike RunUntil it never advances now into idle
+// time; the PDES epoch loop depends on that, because a partition's clock
+// must track the events it actually processed so the global minimum
+// (which bounds the next epoch window) stays exact.
+func (k *Kernel) RunUpTo(limit Cycle) {
+	for {
+		if k.ringCount == 0 {
+			if len(k.far) == 0 || k.far[0].when > limit {
+				return
+			}
+			k.base = k.far[0].when
+			k.migrate()
+		}
+		c := k.nextRingCycle()
+		if c > limit {
+			return
+		}
+		if c != k.base {
+			k.base = c
+			k.migrate()
+		}
+		k.dispatch(c)
 	}
 }
 

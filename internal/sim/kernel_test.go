@@ -159,3 +159,74 @@ func TestKernelRunWhile(t *testing.T) {
 		t.Fatalf("n = %d, want 50", n)
 	}
 }
+
+// TestKernelEarlyLane pins the arrivals-before-locals rule: an event
+// posted through AtEventEarly (or EarlySink) dispatches before every
+// normal-lane event of the same cycle, regardless of insertion order —
+// the property both kernels rely on to keep same-cycle ties between
+// link arrivals and local events identical.
+func TestKernelEarlyLane(t *testing.T) {
+	k := NewKernel()
+	var got []int64
+	r := &recorder{out: &got}
+	// Normal-lane events inserted first; early-lane events inserted
+	// last must still run first, FIFO within each lane.
+	k.AtEvent(5, r, EventArg{N: 10})
+	k.AtEvent(5, r, EventArg{N: 11})
+	k.EarlySink().PostEvent(5, r, EventArg{N: 1})
+	k.AtEventEarly(5, r, EventArg{N: 2})
+	k.AtEvent(5, r, EventArg{N: 12})
+	k.Run()
+	want := []int64{1, 2, 10, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", k.Pending())
+	}
+}
+
+// TestKernelEarlyLaneFarHeap pins lane routing through the far heap:
+// events beyond the calendar ring's window keep their lane when they
+// migrate into a bucket.
+func TestKernelEarlyLaneFarHeap(t *testing.T) {
+	k := NewKernel()
+	var got []int64
+	r := &recorder{out: &got}
+	far := Cycle(ringWindow + 100)
+	k.AtEvent(far, r, EventArg{N: 10})
+	k.AtEventEarly(far, r, EventArg{N: 1})
+	k.AtEvent(far, r, EventArg{N: 11})
+	k.AtEventEarly(far, r, EventArg{N: 2})
+	k.Run()
+	want := []int64{1, 2, 10, 11}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != far {
+		t.Fatalf("Now() = %d, want %d", k.Now(), far)
+	}
+}
+
+// TestKernelEarlyPastPanics pins that the early lane rejects
+// non-future posts — cross-partition deliveries are always at least
+// one cycle out, so a same-cycle early insert is a wiring bug.
+func TestKernelEarlyPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(3, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AtEventEarly at now did not panic")
+			}
+		}()
+		k.AtEventEarly(3, funcEvent(func() {}), EventArg{})
+	})
+	k.Run()
+}

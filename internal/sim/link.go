@@ -11,7 +11,7 @@ import "math"
 // therefore captures both serialization delay and queueing delay, the two
 // effects the paper's bandwidth arguments rest on.
 type Link struct {
-	k *Kernel
+	k Scheduler
 
 	// BytesPerCycle is the link bandwidth expressed in the kernel's base
 	// clock. 80 GB/s at a 4 GHz base clock is 20 bytes/cycle.
@@ -34,8 +34,9 @@ type Link struct {
 // 16-byte flits).
 const FlitBytes = 16
 
-// NewLink creates a link on kernel k.
-func NewLink(k *Kernel, bytesPerCycle float64, latency Cycle) *Link {
+// NewLink creates a link scheduled on k, which must be the scheduler of
+// the partition that owns (sends on) the link.
+func NewLink(k Scheduler, bytesPerCycle float64, latency Cycle) *Link {
 	if bytesPerCycle <= 0 {
 		panic("sim: link bandwidth must be positive")
 	}
@@ -57,6 +58,16 @@ func (l *Link) Send(bytes int, done func()) Cycle {
 // arg to h (if non-nil) when the payload arrives. It returns the cycle
 // at which delivery will occur.
 func (l *Link) SendEvent(bytes int, h Handler, arg EventArg) Cycle {
+	return l.SendEventTo(l.k, bytes, h, arg)
+}
+
+// SendEventTo is SendEvent with an explicit delivery sink: serialization
+// and occupancy are accounted on the sender's clock, and the payload is
+// posted to sink at the delivery cycle. When the receiver lives in
+// another PDES partition the sink is that partition's mailbox; the link
+// latency then doubles as the synchronization lookahead, so delivery
+// always lands at or beyond the receiving partition's epoch horizon.
+func (l *Link) SendEventTo(sink EventSink, bytes int, h Handler, arg EventArg) Cycle {
 	if bytes <= 0 {
 		bytes = 1
 	}
@@ -72,7 +83,7 @@ func (l *Link) SendEvent(bytes int, h Handler, arg EventArg) Cycle {
 	l.FlitsTransferred += uint64((bytes + FlitBytes - 1) / FlitBytes)
 	at := end + l.Latency
 	if h != nil {
-		l.k.AtEvent(at, h, arg)
+		sink.PostEvent(at, h, arg)
 	}
 	return at
 }

@@ -1,0 +1,299 @@
+// Conservative parallel discrete-event kernel.
+//
+// The simulated system is split into partitions — in this simulator,
+// the host (cores, caches, PMU, chain front-end) and one partition per
+// HMC vault — each with its own calendar queue and clock. Partitions
+// advance in barrier-synchronized epochs: every epoch runs all events in
+// [T, T+W) where T is the global minimum pending cycle and W is the
+// lookahead window, the minimum cross-partition latency (the off-chip
+// SerDes link latency in this topology). Because any event one partition
+// can cause in another is at least W cycles away, events inside the
+// window are causally independent across partitions and may run
+// concurrently.
+//
+// Cross-partition communication goes exclusively through per
+// (source, destination) mailboxes (the EventSink implementation handed
+// to sim.Link.SendEventTo). Each mailbox has a single writer — the
+// source partition's goroutine — so posting is race-free, and mailboxes
+// are drained at the epoch barrier in a fixed (destination, source,
+// post-index) order. Same-cycle events therefore land in each
+// destination bucket in an order that depends only on simulated history,
+// never on goroutine interleaving: results are bit-identical for any
+// worker count, including 1.
+//
+// This file is the only place in the simulator where goroutines and
+// synchronization primitives are allowed (peilint's partsafe analyzer
+// enforces that); component code stays single-threaded and identical
+// under either kernel.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Partition is one member of a PDES ensemble: a full calendar-queue
+// kernel plus its partition identity. It implements Scheduler, so
+// components constructed against it schedule exactly as they would on
+// the sequential kernel; only explicitly-sunk link deliveries cross
+// partitions.
+type Partition struct {
+	Kernel
+	pd *PDES
+	id int
+}
+
+// ID returns the partition's index in the ensemble (0 is conventionally
+// the host partition).
+func (p *Partition) ID() int { return p.id }
+
+// post is one mailbox entry: an event bound for another partition.
+type post struct {
+	cycle Cycle
+	h     Handler
+	arg   EventArg
+}
+
+// inbox is the EventSink for one (source, destination) partition pair.
+// Only the source partition's goroutine appends during an epoch; the
+// coordinator drains it at the barrier.
+type inbox struct {
+	pd   *PDES
+	slot int
+}
+
+// PostEvent queues a cross-partition event. The conservative protocol is
+// only sound if every post lands at or beyond the current epoch horizon
+// — the receiver may already have executed events up to horizon-1 — so a
+// nearer post is a hard modeling error (a component communicated across
+// partitions with less than the lookahead latency) and panics rather
+// than silently corrupting causality.
+func (ib *inbox) PostEvent(cycle Cycle, h Handler, arg EventArg) {
+	pd := ib.pd
+	if cycle < pd.horizon {
+		panic(fmt.Sprintf("sim: pdes lookahead violation: post at cycle %d before epoch horizon %d", cycle, pd.horizon))
+	}
+	pd.mail[ib.slot] = append(pd.mail[ib.slot], post{cycle: cycle, h: h, arg: arg})
+}
+
+// PDES is a conservative parallel discrete-event kernel: a fixed set of
+// partitions advanced in lookahead-bounded epochs by a pool of worker
+// goroutines. Construct with NewPDES, wire components against the
+// partitions' Schedulers and the Sink mailboxes, then call Run.
+type PDES struct {
+	window  Cycle
+	parts   []*Partition
+	inboxes []inbox
+	mail    [][]post // [src*len(parts)+dst]; written only by src's goroutine
+
+	// horizon is the exclusive upper bound of the running epoch. Workers
+	// read it (via inbox posts) during an epoch; the coordinator writes
+	// it only between epochs, with the barrier providing the necessary
+	// happens-before edges.
+	horizon Cycle
+	workers int
+
+	active []*Partition // scratch: partitions with work this epoch
+	next   atomic.Int64 // work-stealing cursor over active
+	limit  Cycle        // inclusive epoch limit, read by workers
+	wg     sync.WaitGroup
+}
+
+// NewPDES creates an ensemble of nparts partitions with the given
+// lookahead window (the minimum cross-partition event latency, in
+// cycles) and worker goroutine count. window must be at least 1: a
+// zero-lookahead topology has no causally independent events to run
+// concurrently. workers is clamped to at least 1; workers == 1 runs the
+// identical epoch protocol inline with no goroutines at all.
+func NewPDES(window Cycle, nparts, workers int) *PDES {
+	if window < 1 {
+		panic("sim: pdes lookahead window must be >= 1")
+	}
+	if nparts < 1 {
+		panic("sim: pdes needs at least one partition")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pd := &PDES{
+		window:  window,
+		workers: workers,
+		inboxes: make([]inbox, nparts*nparts),
+		mail:    make([][]post, nparts*nparts),
+	}
+	for i := 0; i < nparts; i++ {
+		pd.parts = append(pd.parts, &Partition{pd: pd, id: i})
+	}
+	for i := range pd.inboxes {
+		pd.inboxes[i] = inbox{pd: pd, slot: i}
+	}
+	return pd
+}
+
+// Part returns partition i's scheduler.
+func (pd *PDES) Part(i int) *Partition { return pd.parts[i] }
+
+// Sink returns the mailbox carrying events from partition src to
+// partition dst. The returned sink must only be posted to from src's
+// own events.
+func (pd *PDES) Sink(src, dst int) EventSink {
+	return &pd.inboxes[src*len(pd.parts)+dst]
+}
+
+// Pending reports queued events across all partitions, including
+// cross-partition posts not yet drained into their destination queues.
+func (pd *PDES) Pending() int {
+	n := 0
+	for _, p := range pd.parts {
+		n += p.Pending()
+	}
+	for _, m := range pd.mail {
+		n += len(m)
+	}
+	return n
+}
+
+// Executed reports events dispatched across all partitions.
+func (pd *PDES) Executed() uint64 {
+	var n uint64
+	for _, p := range pd.parts {
+		n += p.Kernel.Executed
+	}
+	return n
+}
+
+// MaxNow returns the clock of the furthest-advanced partition: the cycle
+// of the globally last dispatched event, matching what the sequential
+// kernel's Now reports after a full run.
+func (pd *PDES) MaxNow() Cycle {
+	var m Cycle
+	for _, p := range pd.parts {
+		if n := p.Now(); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// Run drives all partitions until every queue is empty. ctx is checked
+// once per epoch, so cancellation latency is one lookahead window's
+// worth of events.
+func (pd *PDES) Run(ctx context.Context) error {
+	done := ctx.Done()
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if !pd.Epoch() {
+			return nil
+		}
+	}
+}
+
+// Epoch runs one barrier-synchronized window: drain mailbox posts from
+// the previous epoch (or pre-run seeding) into their destination
+// queues, find the global minimum pending cycle T, then execute every
+// partition's events in [T, T+window) concurrently. It reports whether
+// any work remained.
+func (pd *PDES) Epoch() bool {
+	pd.drainMail()
+	// Global minimum pending cycle and the epoch's active set. A
+	// partition whose next event is beyond the horizon has nothing to do
+	// this epoch and is skipped entirely.
+	var t Cycle
+	found := false
+	for _, p := range pd.parts {
+		if c, ok := p.peek(); ok && (!found || c < t) {
+			t, found = c, true
+		}
+	}
+	if !found {
+		return false
+	}
+	pd.horizon = t + pd.window
+	limit := pd.horizon - 1
+	pd.active = pd.active[:0]
+	for _, p := range pd.parts {
+		if c, ok := p.peek(); ok && c <= limit {
+			pd.active = append(pd.active, p)
+		}
+	}
+
+	pd.runActive(limit)
+	return true
+}
+
+// runActive executes this epoch's active partitions up to limit,
+// inline for one worker (or one active partition), otherwise on worker
+// goroutines claiming partitions off a shared cursor.
+func (pd *PDES) runActive(limit Cycle) {
+	if pd.workers == 1 || len(pd.active) == 1 {
+		for _, p := range pd.active {
+			p.RunUpTo(limit)
+		}
+		return
+	}
+	w := pd.workers
+	if w > len(pd.active) {
+		w = len(pd.active)
+	}
+	pd.limit = limit
+	pd.next.Store(0)
+	pd.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go pd.work()
+	}
+	pd.wg.Wait()
+}
+
+// work is one epoch worker: claim active partitions off the shared
+// cursor until none remain. It is a method rather than a closure so
+// spawning it captures no per-epoch environment.
+func (pd *PDES) work() {
+	defer pd.wg.Done()
+	limit := pd.limit
+	for {
+		i := pd.next.Add(1) - 1
+		if i >= int64(len(pd.active)) {
+			return
+		}
+		pd.active[i].RunUpTo(limit)
+	}
+}
+
+// drainMail merges every mailbox into its destination queue. The drain
+// order — destinations ascending, then sources ascending, then post
+// order within a source — is fixed, and calendar buckets are FIFO, so
+// same-cycle cross-partition events always land in the same relative
+// order regardless of how worker goroutines interleaved during the
+// epoch. This is the deterministic (cycle, source, sequence) merge rule.
+// Posts land in the destination's early lane (AtEventEarly), the same
+// lane the sequential kernel uses for link deliveries, so a drained
+// arrival keeps its arrivals-before-locals position against events the
+// destination schedules for the same cycle during its own epoch.
+func (pd *PDES) drainMail() {
+	n := len(pd.parts)
+	for dst := 0; dst < n; dst++ {
+		dk := &pd.parts[dst].Kernel
+		for src := 0; src < n; src++ {
+			slot := src*n + dst
+			m := pd.mail[slot]
+			if len(m) == 0 {
+				continue
+			}
+			for i := range m {
+				dk.AtEventEarly(m[i].cycle, m[i].h, m[i].arg)
+				m[i] = post{} // release handler/arg references
+			}
+			pd.mail[slot] = m[:0]
+		}
+	}
+}
+
+var _ Scheduler = (*Partition)(nil)

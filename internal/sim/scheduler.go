@@ -1,0 +1,63 @@
+package sim
+
+// EventSink accepts an event post at an absolute cycle. It is the only
+// channel through which one PDES partition may inject work into another:
+// the sequential Kernel implements it as a plain AtEvent, while the PDES
+// kernel hands out per-(source, destination) mailboxes whose posts are
+// merged deterministically at epoch boundaries.
+type EventSink interface {
+	PostEvent(cycle Cycle, h Handler, arg EventArg)
+}
+
+// Scheduler is the interface every timed component programs against: the
+// clock plus event scheduling. It is implemented by the sequential
+// *Kernel and by each *Partition of the PDES kernel, so component code is
+// identical under either execution engine. Scheduling is always
+// partition-local; cross-partition communication goes through an
+// explicit EventSink (see Link.SendEventTo).
+type Scheduler interface {
+	EventSink
+
+	// Now returns the current simulated cycle of this scheduler's clock.
+	Now() Cycle
+	// ScheduleEvent delivers arg to h delay cycles from now; AtEvent at
+	// an absolute cycle. These are the hot-path forms and never allocate
+	// in steady state.
+	ScheduleEvent(delay Cycle, h Handler, arg EventArg)
+	AtEvent(cycle Cycle, h Handler, arg EventArg)
+	// Schedule and At are the closure variants for cold paths.
+	Schedule(delay Cycle, fn func())
+	At(cycle Cycle, fn func())
+	// Pending reports the number of queued events.
+	Pending() int
+
+	// EarlySink returns an EventSink that posts into the calendar's
+	// early lane: events delivered through it run before every
+	// normal-lane event of the same cycle. It is the sink components
+	// hand to cross-partition links (Link.SendEventTo), making the
+	// order of a link arrival against same-cycle local events a fixed
+	// rule — arrivals first — identical under both kernels.
+	EarlySink() EventSink
+}
+
+// PostEvent implements EventSink on the sequential kernel: a post is an
+// ordinary absolute-cycle insertion into the one global queue. Local
+// (same-partition) links deliver through this normal lane; only
+// cross-partition deliveries use the early lane.
+func (k *Kernel) PostEvent(cycle Cycle, h Handler, arg EventArg) {
+	k.AtEvent(cycle, h, arg)
+}
+
+// earlySink adapts a kernel's early lane to the EventSink interface.
+type earlySink struct{ k *Kernel }
+
+func (s earlySink) PostEvent(cycle Cycle, h Handler, arg EventArg) {
+	s.k.AtEventEarly(cycle, h, arg)
+}
+
+// EarlySink implements Scheduler.EarlySink on the sequential kernel.
+// The returned sink is handed out once at wiring time, so the interface
+// boxing here is off the hot path.
+func (k *Kernel) EarlySink() EventSink { return earlySink{k} }
+
+var _ Scheduler = (*Kernel)(nil)

@@ -2,7 +2,7 @@ package workloads
 
 import (
 	"fmt"
-	"sync"
+	"sync" //peilint:allow partsafe generation-time graph cache shared across harness cells; immutable after construction, never touched by event handlers
 
 	"pimsim/internal/graph"
 	"pimsim/internal/machine"

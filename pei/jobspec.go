@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"pimsim/internal/harness"
+	"pimsim/internal/machine"
 	"pimsim/internal/workloads"
 )
 
@@ -93,6 +94,14 @@ type JobSpec struct {
 	OpBudget  int64    `json:"budget,omitempty"`
 	Pairs     int      `json:"pairs,omitempty"`
 	Workloads []string `json:"workloads,omitempty"`
+
+	// Kernel selects the event-execution engine ("seq" or "pdes") and
+	// KernelWorkers the pdes epoch worker count. Both kernels produce
+	// byte-identical output, so — like Parallelism — these are execution
+	// knobs, not job identity: Digest excludes them, and a seq and a
+	// pdes submission of the same job share one cache entry.
+	Kernel        string `json:"kernel,omitempty"`
+	KernelWorkers int    `json:"kernel_workers,omitempty"`
 }
 
 // validExperiment reports whether name is runnable (registry names,
@@ -163,6 +172,11 @@ func (s JobSpec) Normalize() (JobSpec, *Config, error) {
 	}
 	if s.Scale <= 0 {
 		s.Scale = 64
+	}
+	if km, err := machine.ParseKernelMode(s.Kernel); err != nil {
+		return s, nil, err
+	} else if s.Kernel != "" {
+		s.Kernel = km.String()
 	}
 	switch s.Kind {
 	case JobExperiment:
@@ -248,6 +262,10 @@ func (s JobSpec) Digest() (string, error) {
 		return "", err
 	}
 	n.Overrides = nil // cfg carries their effect
+	// The kernel selection cannot change output (the cross-kernel golden
+	// test pins byte-identical tables), so it must not split the cache:
+	// a seq and a pdes submission of the same job coalesce to one entry.
+	n.Kernel, n.KernelWorkers = "", 0
 	sort.Strings(n.Workloads)
 	payload, err := json.Marshal(struct {
 		Spec   JobSpec `json:"spec"`
@@ -286,13 +304,15 @@ func RunJob(ctx context.Context, spec JobSpec, w io.Writer, opts RunJobOptions) 
 	switch spec.Kind {
 	case JobExperiment:
 		ro := ReproduceOptions{
-			Cfg:         cfg,
-			Scale:       spec.Scale,
-			OpBudget:    spec.OpBudget,
-			Workloads:   spec.Workloads,
-			Pairs:       spec.Pairs,
-			Parallelism: opts.Parallelism,
-			Progress:    opts.Progress,
+			Cfg:           cfg,
+			Scale:         spec.Scale,
+			OpBudget:      spec.OpBudget,
+			Workloads:     spec.Workloads,
+			Pairs:         spec.Pairs,
+			Parallelism:   opts.Parallelism,
+			Progress:      opts.Progress,
+			Kernel:        spec.Kernel,
+			KernelWorkers: spec.KernelWorkers,
 		}
 		return Reproduce(ctx, spec.Experiment, ro, w)
 	default: // JobWorkload; Normalize rejected everything else
@@ -309,7 +329,9 @@ func RunJob(ctx context.Context, spec JobSpec, w io.Writer, opts RunJobOptions) 
 		if opts.Progress != nil {
 			opts.Progress(JobProgress{Cell: cell, Simulations: 1})
 		}
-		res, err := RunWorkloadContext(ctx, cfg, mode, spec.Workload, params, spec.Verify)
+		km, _ := machine.ParseKernelMode(spec.Kernel) // validated by Normalize
+		res, err := runWorkloadOn(ctx, cfg, mode, spec.Workload, params, spec.Verify,
+			machine.WithKernel(km, spec.KernelWorkers))
 		if opts.Progress != nil {
 			var cycles int64
 			if err == nil {

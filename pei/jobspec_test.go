@@ -44,6 +44,7 @@ func TestJobSpecNormalizeRejectsInvalid(t *testing.T) {
 		{Workload: "bfs", Verify: true, OpBudget: 100},
 		{Experiment: "fig6", Workloads: []string{"nope"}},
 		{Workload: "bfs", Overrides: json.RawMessage(`{"Cores": -3}`)},
+		{Workload: "bfs", Kernel: "warp-drive"},
 	}
 	for _, s := range bad {
 		if _, _, err := s.Normalize(); err == nil {
@@ -76,6 +77,15 @@ func TestJobSpecDigestStability(t *testing.T) {
 	}
 	if a != c {
 		t.Fatal("no-op overrides changed the digest")
+	}
+	// The execution engine cannot change results, so it is not part of
+	// job identity: kernel knobs must not split the cache.
+	k, err := pei.JobSpec{Workload: "bfs", Kernel: "pdes", KernelWorkers: 8}.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != k {
+		t.Fatal("kernel selection changed the digest")
 	}
 
 	for _, different := range []pei.JobSpec{
