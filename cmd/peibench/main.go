@@ -47,6 +47,7 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
 		kernel    = flag.String("kernel", "seq", "event kernel: seq|pdes (tables are byte-identical either way)")
 		kworkers  = flag.Int("kernelworkers", 0, "pdes epoch workers per simulation (0 = GOMAXPROCS)")
+		snapDir   = flag.String("snapshot-dir", "", "checkpoint store for warm starts: cells resume from stored phase boundaries and write new ones (empty = disabled)")
 		list      = flag.Bool("list", false, "list experiment names and exit")
 		verbose   = flag.Bool("v", false, "log per-run progress")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -98,6 +99,7 @@ func main() {
 	opts.Parallelism = *parallel
 	opts.Kernel = *kernel
 	opts.KernelWorkers = *kworkers
+	opts.SnapshotDir = *snapDir
 	if *full {
 		opts.Cfg = pei.BaselineConfig()
 	}
@@ -130,7 +132,8 @@ func main() {
 		runtime.ReadMemStats(&before)
 	}
 	start := time.Now()
-	if err := pei.Reproduce(ctx, *exp, opts, w); err != nil {
+	report, err := pei.ReproduceWithReport(ctx, *exp, opts, w)
+	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			// The note goes to stderr so piped/redirected table output
 			// stays clean; 130 = 128+SIGINT, distinct from failures.
@@ -142,9 +145,13 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(w, "completed in %s\n", elapsed.Round(time.Millisecond))
+	if *snapDir != "" {
+		fmt.Fprintf(w, "warm starts: %d hits, %d misses, %d cycles simulated, %d cycles skipped\n",
+			report.Store.Hits, report.Store.Misses, report.CyclesSimulated, report.CyclesSkipped)
+	}
 
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, *exp, *scale, *budget, elapsed, &before); err != nil {
+		if err := writeBenchJSON(*benchJSON, *exp, *scale, *budget, *kernel, *kworkers, *snapDir, elapsed, &before, report); err != nil {
 			fmt.Fprintln(os.Stderr, "peibench:", err)
 			os.Exit(1)
 		}
@@ -156,12 +163,15 @@ func main() {
 // entry with the whole run's wall time and heap traffic, in the same
 // ns_op / bytes_op / allocs_op units `go test -benchmem` reports.
 type benchSnapshot struct {
-	Description string        `json:"description"`
-	Experiment  string        `json:"experiment"`
-	Scale       int           `json:"scale"`
-	Budget      int64         `json:"budget"`
-	GoVersion   string        `json:"go_version"`
-	Headline    benchHeadline `json:"headline"`
+	Description   string          `json:"description"`
+	Experiment    string          `json:"experiment"`
+	Scale         int             `json:"scale"`
+	Budget        int64           `json:"budget"`
+	Kernel        string          `json:"kernel"`
+	KernelWorkers int             `json:"kernel_workers"`
+	GoVersion     string          `json:"go_version"`
+	Headline      benchHeadline   `json:"headline"`
+	Snapshots     *benchSnapshots `json:"snapshots,omitempty"`
 }
 
 type benchHeadline struct {
@@ -170,24 +180,45 @@ type benchHeadline struct {
 	AllocsOp uint64 `json:"allocs_op"`
 }
 
+// benchSnapshots is the warm-start section, present only when the run
+// used a -snapshot-dir.
+type benchSnapshots struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	BytesWritten    int64 `json:"bytes_written"`
+	CyclesSimulated int64 `json:"cycles_simulated"`
+	CyclesSkipped   int64 `json:"cycles_skipped"`
+}
+
 // writeBenchJSON records the run as a single-iteration benchmark: the
 // heap counters are deltas across Reproduce, so the snapshot is
 // comparable between commits at identical flags.
-func writeBenchJSON(path, exp string, scale int, budget int64, elapsed time.Duration, before *runtime.MemStats) error {
+func writeBenchJSON(path, exp string, scale int, budget int64, kernel string, kworkers int, snapDir string, elapsed time.Duration, before *runtime.MemStats, report pei.SnapshotReport) error {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	snap := benchSnapshot{
 		Description: "peibench single-run snapshot: wall time and heap traffic of one Reproduce call " +
 			"(units match `go test -benchmem`; compare only at identical -exp/-scale/-budget flags)",
-		Experiment: exp,
-		Scale:      scale,
-		Budget:     budget,
-		GoVersion:  runtime.Version(),
+		Experiment:    exp,
+		Scale:         scale,
+		Budget:        budget,
+		Kernel:        kernel,
+		KernelWorkers: kworkers,
+		GoVersion:     runtime.Version(),
 		Headline: benchHeadline{
 			NsOp:     elapsed.Nanoseconds(),
 			BytesOp:  after.TotalAlloc - before.TotalAlloc,
 			AllocsOp: after.Mallocs - before.Mallocs,
 		},
+	}
+	if snapDir != "" {
+		snap.Snapshots = &benchSnapshots{
+			Hits:            report.Store.Hits,
+			Misses:          report.Store.Misses,
+			BytesWritten:    report.Store.BytesWritten,
+			CyclesSimulated: report.CyclesSimulated,
+			CyclesSkipped:   report.CyclesSkipped,
+		}
 	}
 	buf, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {

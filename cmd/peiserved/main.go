@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"pimsim/internal/serve"
+	"pimsim/pei"
 )
 
 func main() {
@@ -44,16 +45,28 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 64, "max queued jobs before 429")
 		cacheMB      = flag.Int64("cache-mb", 64, "result-cache LRU budget in MiB")
 		parallel     = flag.Int("parallel", 0, "simulation cells per job (0 = GOMAXPROCS/workers)")
+		snapshotDir  = flag.String("snapshot-dir", "", "checkpoint store directory for simulation warm starts (empty = disabled)")
+		snapshotMB   = flag.Int64("snapshot-mb", 256, "snapshot store LRU budget in MiB (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "max time to drain jobs on shutdown")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "peiserved ", log.LstdFlags|log.Lmsgprefix)
+	var snaps *pei.SnapshotStore
+	if *snapshotDir != "" {
+		var err error
+		if snaps, err = pei.OpenSnapshotStore(*snapshotDir, *snapshotMB<<20); err != nil {
+			fmt.Fprintln(os.Stderr, "peiserved:", err)
+			os.Exit(1)
+		}
+		logger.Printf("snapshots enabled dir=%s budget-mb=%d", *snapshotDir, *snapshotMB)
+	}
 	srv := serve.New(serve.Options{
 		Workers:     *workers,
 		QueueDepth:  *queueDepth,
 		CacheBytes:  *cacheMB << 20,
 		Parallelism: *parallel,
+		Snapshots:   snaps,
 		Logf:        logger.Printf,
 	})
 

@@ -11,6 +11,9 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,7 +72,7 @@ func main() {
 		defer f.Close()
 		// Store size is finalized after Streams has allocated; write the
 		// header now that it is known.
-		tw, err := trace.NewWriter(f, len(live), m.Store.Size())
+		tw, err := trace.NewWriterDigest(f, len(live), m.Store.Size(), cfgDigest(cfg))
 		if err != nil {
 			fatal(err)
 		}
@@ -101,6 +104,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if tr.ConfigDigest != "" && tr.ConfigDigest != cfgDigest(cfg) {
+			fmt.Fprintln(os.Stderr, "peitrace: note: trace was recorded on a different machine config (timing will differ from the recording run)")
+		}
 		if tr.StoreSize > 0 {
 			m.Store.Alloc(int(tr.StoreSize), 64)
 		}
@@ -114,6 +120,16 @@ func main() {
 	default:
 		fatal(fmt.Errorf("use -record FILE or -replay FILE"))
 	}
+}
+
+// cfgDigest content-addresses the machine config for the trace header.
+func cfgDigest(cfg *pei.Config) string {
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
 }
 
 func parseMode(s string) (pim.Mode, error) {

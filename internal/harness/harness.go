@@ -29,6 +29,7 @@ import (
 	"pimsim/internal/graph"
 	"pimsim/internal/machine"
 	"pimsim/internal/pim"
+	"pimsim/internal/snap"
 	"pimsim/internal/workloads"
 )
 
@@ -72,6 +73,19 @@ type Options struct {
 	// saturate Parallelism.
 	Kernel        string
 	KernelWorkers int
+	// SnapshotDir, when non-empty, enables checkpoint/warm-start: cells
+	// run phased, every interior superstep boundary is serialized into a
+	// content-addressed blob store rooted here, and reruns of a cell
+	// resume from the deepest stored boundary. Results are bit-identical
+	// to cold runs (pinned by the resume-equivalence tests).
+	SnapshotDir string
+	// SnapshotBudget caps the snapshot directory's size in bytes;
+	// least-recently-used blobs are evicted beyond it (<= 0: unlimited).
+	SnapshotBudget int64
+	// SnapshotStore injects an already-open blob store instead of
+	// SnapshotDir/SnapshotBudget — peiserved shares one store (and its
+	// hit/miss counters) across every job it runs.
+	SnapshotStore *snap.Store
 }
 
 // Progress is one simulation-lifecycle event delivered to
@@ -293,6 +307,14 @@ type Runner struct {
 
 	// simulations counts machines built and run (tests, effort reports).
 	simulations atomic.Int64
+
+	// Warm-start state (Options.SnapshotDir): the shared blob store and
+	// the cycle ledger behind SnapshotReport.
+	snapMu          sync.Mutex
+	store           *snap.Store
+	storeErr        error
+	cyclesSimulated atomic.Int64
+	cyclesSkipped   atomic.Int64
 }
 
 // NewRunner creates a runner with normalized options.
@@ -379,11 +401,18 @@ func (r *Runner) runWorkload(ctx context.Context, name string, p workloads.Param
 	if mutate != nil {
 		mutate(cfg)
 	}
-	w, err := workloads.New(name, p)
+	km, err := machine.ParseKernelMode(r.Opts.Kernel)
 	if err != nil {
 		return machine.Result{}, err
 	}
-	km, err := machine.ParseKernelMode(r.Opts.Kernel)
+	if r.snapshotsEnabled() {
+		res, simulated, err := r.runPhased(ctx, cfg, name, p, mode, km, false)
+		if err == nil {
+			cycles = simulated
+		}
+		return res, err
+	}
+	w, err := workloads.New(name, p)
 	if err != nil {
 		return machine.Result{}, err
 	}

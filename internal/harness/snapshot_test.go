@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pimsim/internal/pim"
+	"pimsim/internal/workloads"
+)
+
+// snapOptions is tinyOptions plus multi-round workloads, so interior
+// phase boundaries actually exist.
+func snapOptions(dir string) Options {
+	o := Default()
+	o.Scale = 512
+	o.OpBudget = 5_000
+	o.Workloads = []string{"pr", "bfs"}
+	o.SnapshotDir = dir
+	return o
+}
+
+// runSnapCell runs one cell through a fresh runner with the given
+// snapshot dir ("" = unphased) and kernel selection.
+func runSnapCell(t *testing.T, dir, kernel string, workers int, cell Cell) (*Runner, interface{ IPC() float64 }) {
+	t.Helper()
+	o := snapOptions(dir)
+	o.Kernel = kernel
+	o.KernelWorkers = workers
+	r := NewRunner(o)
+	res, err := r.RunCell(context.Background(), cell)
+	if err != nil {
+		t.Fatalf("cell %v (dir=%q kernel=%q w=%d): %v", cell, dir, kernel, workers, err)
+	}
+	return r, res
+}
+
+// TestPhasedMatchesUnphased pins what phasing preserves relative to the
+// one-shot path: every op retires, on the same cores, with the same PEI
+// totals. Cycle counts legitimately differ by a little — a forced drain
+// at a boundary aligns all cores to one global quiescent cycle, whereas
+// the one-shot run lets each core resume at its own fence-completion
+// cycle — so enabling SnapshotDir selects the phased execution model,
+// within which everything is bit-exact (see TestResumeEquivalence).
+func TestPhasedMatchesUnphased(t *testing.T) {
+	for _, wl := range []string{"pr", "bfs", "rp"} {
+		for _, mode := range []pim.Mode{pim.HostOnly, pim.LocalityAware} {
+			cell := Cell{wl, workloads.Small, mode}
+			t.Run(cell.key(), func(t *testing.T) {
+				o := snapOptions("")
+				o.Workloads = []string{wl}
+				cold := NewRunner(o)
+				want, err := cold.RunCell(context.Background(), cell)
+				if err != nil {
+					t.Fatal(err)
+				}
+				op := o
+				op.SnapshotDir = t.TempDir()
+				phased := NewRunner(op)
+				got, err := phased.RunCell(context.Background(), cell)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Retired != want.Retired ||
+					!reflect.DeepEqual(got.PerCoreRetired, want.PerCoreRetired) ||
+					got.PEIs != want.PEIs {
+					t.Fatalf("phased run lost or duplicated work\nphased:   retired=%d percore=%v peis=%d\nunphased: retired=%d percore=%v peis=%d",
+						got.Retired, got.PerCoreRetired, got.PEIs,
+						want.Retired, want.PerCoreRetired, want.PEIs)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeEquivalence is the tentpole acceptance test: restoring from
+// EVERY stored phase boundary must reproduce the cold run's result
+// exactly, under both kernels and multiple worker counts. Blobs are
+// written by the sequential kernel and consumed by PDES too, pinning
+// kernel-agnostic snapshots.
+func TestResumeEquivalence(t *testing.T) {
+	cell := Cell{"pr", workloads.Small, pim.LocalityAware}
+	coldDir := t.TempDir()
+	coldRunner, coldRes := runSnapCell(t, coldDir, "seq", 0, cell)
+	rep := coldRunner.SnapshotReport()
+	if rep.Store.Misses == 0 || rep.Store.Hits != 0 {
+		t.Fatalf("cold run should miss, not hit: %+v", rep.Store)
+	}
+	blobs, err := filepath.Glob(filepath.Join(coldDir, "*.snap"))
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("cold run stored no snapshots (err=%v)", err)
+	}
+	kernels := []struct {
+		kernel  string
+		workers int
+	}{{"seq", 0}, {"pdes", 1}, {"pdes", 4}}
+	for _, blob := range blobs {
+		for _, k := range kernels {
+			name := fmt.Sprintf("%s/%s-w%d", filepath.Base(blob), k.kernel, k.workers)
+			t.Run(name, func(t *testing.T) {
+				// A dir holding exactly one boundary forces the resume
+				// to start from that phase.
+				dir := t.TempDir()
+				data, err := os.ReadFile(blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, filepath.Base(blob)), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				warmRunner, warmRes := runSnapCell(t, dir, k.kernel, k.workers, cell)
+				if !reflect.DeepEqual(coldRes, warmRes) {
+					t.Fatalf("warm result diverged from cold\nwarm: %+v\ncold: %+v", warmRes, coldRes)
+				}
+				rep := warmRunner.SnapshotReport()
+				if rep.Store.Hits != 1 {
+					t.Fatalf("warm run should hit once: %+v", rep.Store)
+				}
+				if rep.CyclesSkipped == 0 {
+					t.Fatalf("warm run skipped no cycles: %+v", rep)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotBlobsKernelAgnostic pins the byte-level claim: the blob a
+// sequential run writes at a boundary is identical to the one its PDES
+// twin writes — digest, name, and contents.
+func TestSnapshotBlobsKernelAgnostic(t *testing.T) {
+	cell := Cell{"bfs", workloads.Small, pim.LocalityAware}
+	seqDir, pdesDir := t.TempDir(), t.TempDir()
+	runSnapCell(t, seqDir, "seq", 0, cell)
+	runSnapCell(t, pdesDir, "pdes", 4, cell)
+	seqBlobs, _ := filepath.Glob(filepath.Join(seqDir, "*.snap"))
+	pdesBlobs, _ := filepath.Glob(filepath.Join(pdesDir, "*.snap"))
+	if len(seqBlobs) == 0 || len(seqBlobs) != len(pdesBlobs) {
+		t.Fatalf("blob counts differ: seq=%d pdes=%d", len(seqBlobs), len(pdesBlobs))
+	}
+	for i, sb := range seqBlobs {
+		pb := pdesBlobs[i]
+		if filepath.Base(sb) != filepath.Base(pb) {
+			t.Fatalf("blob names differ: %s vs %s", filepath.Base(sb), filepath.Base(pb))
+		}
+		sd, err1 := os.ReadFile(sb)
+		pd, err2 := os.ReadFile(pb)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("read blobs: %v %v", err1, err2)
+		}
+		if !bytes.Equal(sd, pd) {
+			t.Fatalf("blob %s differs between kernels", filepath.Base(sb))
+		}
+	}
+}
+
+// TestWarmSweepTables is the sweep-level check behind the CI warm-start
+// step, for the two figures named in the acceptance criteria: a cold
+// sweep followed by a warm rerun sharing the snapshot dir must render
+// byte-identical tables while hitting the store and simulating fewer
+// cycles. Fig2 exercises the graph-workload path (runGraphWorkload),
+// Fig6-small the size-sweep path.
+func TestWarmSweepTables(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(*Runner) (*Table, error)
+	}{
+		{"fig2", func(r *Runner) (*Table, error) {
+			return r.Fig2(context.Background())
+		}},
+		{"fig6-small", func(r *Runner) (*Table, error) {
+			return r.Fig6(context.Background(), workloads.Small)
+		}},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			dir := t.TempDir()
+			render := func() ([]byte, SnapshotReport) {
+				o := snapOptions(dir)
+				r := NewRunner(o)
+				tb, err := fig.run(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				tb.Render(&buf)
+				return buf.Bytes(), r.SnapshotReport()
+			}
+			coldTable, coldRep := render()
+			warmTable, warmRep := render()
+			if !bytes.Equal(coldTable, warmTable) {
+				t.Fatalf("warm table diverged from cold\n--- warm ---\n%s--- cold ---\n%s", warmTable, coldTable)
+			}
+			if warmRep.Store.Hits == 0 {
+				t.Fatalf("warm sweep had no snapshot hits: %+v", warmRep.Store)
+			}
+			if warmRep.CyclesSimulated >= coldRep.CyclesSimulated {
+				t.Fatalf("warm sweep simulated %d cycles, cold %d — warm should be cheaper",
+					warmRep.CyclesSimulated, coldRep.CyclesSimulated)
+			}
+		})
+	}
+}

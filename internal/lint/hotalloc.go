@@ -7,7 +7,8 @@
 // Panic arguments are exempt — a formatted panic message allocates only
 // on the way down, when the simulation is already dead — and so are
 // New* constructors, which run once at machine-build time rather than
-// per event.
+// per event, and snapshot.go files, whose checkpoint serialization runs
+// once per quiescent phase boundary, never inside the event loop.
 
 package lint
 
@@ -15,6 +16,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -36,7 +38,8 @@ var HotAlloc = &Analyzer{
 	Doc: "inside the simulator's per-event packages, forbid fmt string " +
 		"building, non-constant string concatenation, and closures that " +
 		"capture variables — each is a heap allocation per event; panic " +
-		"arguments and New* constructors are exempt",
+		"arguments, New* constructors, and snapshot.go files (phase-boundary " +
+		"serialization, not per-event code) are exempt",
 	Packages: []string{
 		"internal/sim",
 		"internal/cache",
@@ -49,6 +52,12 @@ var HotAlloc = &Analyzer{
 
 func runHotAlloc(pass *Pass) error {
 	for _, file := range pass.Files {
+		// Snapshot/restore code runs once per quiescent phase boundary —
+		// by definition outside the event loop — so a whole snapshot.go
+		// file is exempt, the same way New* constructors are.
+		if filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "snapshot.go" {
+			continue
+		}
 		panicSpans := collectPanicArgSpans(pass.Info, file)
 		for _, d := range file.Decls {
 			fd, ok := d.(*ast.FuncDecl)

@@ -84,6 +84,10 @@ type Machine struct {
 	// the per-vault stats registries merged into Reg by collect.
 	pdes   *sim.PDES
 	shards []*stats.Registry
+
+	// vml is the virtual-memory layer when EnableVM is set; retained so
+	// snapshots can reach the page table and TLBs.
+	vml *vmLayer
 }
 
 // New builds a machine for cfg in the given mode. cfg is cloned; the
@@ -163,6 +167,7 @@ func New(cfg *config.Config, mode pim.Mode, opts ...Option) (*Machine, error) {
 			layer.tlbs = append(layer.tlbs, vm.NewTLB(cfg.TLBEntries, layer.pt, sim.Cycle(cfg.TLBMissLatency), reg))
 		}
 		mem, peiPort = layer, layer
+		m.vml = layer
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		m.Cores = append(m.Cores, cpu.NewCore(i, sched, cfg.IssueWidth, cfg.WindowSize, cfg.MaxOps, mem, peiPort))
@@ -225,9 +230,32 @@ func (m *Machine) Run(streams []cpu.Stream) (Result, error) {
 // RunContext is Run with cancellation: the event loop checks ctx between
 // event batches and returns ctx.Err() promptly once ctx is done. A
 // cancelled machine is left mid-simulation and must not be reused.
+//
+// It is the one-shot composition of the phased API: Start, Drive to
+// completion, CheckDone, Finish. Phased callers (checkpointing runs)
+// call those pieces directly, interleaving Quiesce and snapshots
+// between Drives.
 func (m *Machine) RunContext(ctx context.Context, streams []cpu.Stream) (Result, error) {
+	if err := m.Start(streams); err != nil {
+		return Result{}, err
+	}
+	if err := m.Drive(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := m.CheckDone(streams); err != nil {
+		return Result{}, err
+	}
+	return m.Finish(), nil
+}
+
+// Start arms stream i on core i (nil streams leave the core idle) in
+// core-index order, which fixes the bootstrap event order under both
+// kernels. Calling Start again re-arms the cores for another phase —
+// with the same streams, a round-limited workload resumes exactly where
+// its driver stopped.
+func (m *Machine) Start(streams []cpu.Stream) error {
 	if len(streams) > len(m.Cores) {
-		return Result{}, fmt.Errorf("machine: %d streams for %d cores", len(streams), len(m.Cores))
+		return fmt.Errorf("machine: %d streams for %d cores", len(streams), len(m.Cores))
 	}
 	started := 0
 	for i, s := range streams {
@@ -238,36 +266,54 @@ func (m *Machine) RunContext(ctx context.Context, streams []cpu.Stream) (Result,
 		m.Cores[i].Run(s)
 	}
 	if started == 0 {
-		return Result{}, fmt.Errorf("machine: no streams to run")
+		return fmt.Errorf("machine: no streams to run")
 	}
+	return nil
+}
+
+// Drive runs the event loop until no work remains (every core drained
+// and every queue empty) or ctx is cancelled.
+func (m *Machine) Drive(ctx context.Context) error {
 	if m.pdes != nil {
 		// The PDES engine checks ctx once per epoch itself.
-		if err := m.pdes.Run(ctx); err != nil {
-			return Result{}, err
-		}
-	} else if ctx.Done() == nil {
+		return m.pdes.Run(ctx)
+	}
+	if ctx.Done() == nil {
 		m.K.Run()
-	} else {
-		// checkEvery trades cancellation latency (one batch of events,
-		// microseconds of wall clock) against per-event select overhead.
-		const checkEvery = 8192
-		for m.K.Pending() > 0 {
-			//peilint:allow partsafe top-level cancellation driver between event batches; no partition exists on the sequential kernel
-			select {
-			case <-ctx.Done():
-				return Result{}, ctx.Err()
-			default:
-			}
-			for i := 0; i < checkEvery && m.K.Step(); i++ {
-			}
+		return nil
+	}
+	// checkEvery trades cancellation latency (one batch of events,
+	// microseconds of wall clock) against per-event select overhead.
+	const checkEvery = 8192
+	for m.K.Pending() > 0 {
+		//peilint:allow partsafe top-level cancellation driver between event batches; no partition exists on the sequential kernel
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		for i := 0; i < checkEvery && m.K.Step(); i++ {
 		}
 	}
+	return nil
+}
+
+// CheckDone verifies every armed core retired its whole stream; a core
+// with in-flight work after the queues drained is deadlocked.
+func (m *Machine) CheckDone(streams []cpu.Stream) error {
 	for i, s := range streams {
 		if s != nil && !m.Cores[i].Done() {
-			return Result{}, fmt.Errorf("machine: core %d deadlocked (inflight work remains)", i)
+			return fmt.Errorf("machine: core %d deadlocked (inflight work remains)", i)
 		}
 	}
-	return m.collect(), nil
+	return nil
+}
+
+// Finish folds per-vault stat shards into the main registry and builds
+// the run's Result. It consumes the shards and must be called exactly
+// once, after the final Drive.
+func (m *Machine) Finish() Result {
+	return m.collect()
 }
 
 func (m *Machine) collect() Result {

@@ -31,6 +31,13 @@ type Options struct {
 	// pei.RunJob (default GOMAXPROCS / Workers, min 1, so a full worker
 	// pool roughly saturates the machine).
 	Parallelism int
+	// Snapshots, if non-nil, enables simulation warm starts: every job
+	// resumes its cells from phase-boundary checkpoints in this store
+	// and writes new ones back (open one with pei.OpenSnapshotStore,
+	// typically rooted beside the daemon's working data with an LRU
+	// byte budget). Store activity is exported at /metrics as
+	// snapshot.* counters.
+	Snapshots *pei.SnapshotStore
 	// Logf receives one structured line per HTTP request and per job
 	// transition (default log.Printf).
 	Logf func(format string, args ...any)
@@ -316,6 +323,7 @@ func (s *Server) runOne(job *Job) {
 	var out bytes.Buffer
 	err := s.opts.runJob(ctx, job.Spec, &out, pei.RunJobOptions{
 		Parallelism: s.opts.Parallelism,
+		Snapshots:   s.opts.Snapshots,
 		Progress: func(p pei.JobProgress) {
 			if p.Done {
 				s.met.add("sim.cycles", p.Cycles)
@@ -546,7 +554,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	cs := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, map[string]int64{
+	gauges := map[string]int64{
 		"jobs.queued":     queued,
 		"jobs.running":    running,
 		"cache.hits":      cs.Hits,
@@ -557,7 +565,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cache.budget":    s.opts.CacheBytes,
 		"workers":         int64(s.opts.Workers),
 		"queue.depth":     int64(s.opts.QueueDepth),
-	})
+	}
+	if s.opts.Snapshots != nil {
+		ss := s.opts.Snapshots.Stats()
+		gauges["snapshot.hits"] = ss.Hits
+		gauges["snapshot.misses"] = ss.Misses
+		gauges["snapshot.bytes_written"] = ss.BytesWritten
+		gauges["snapshot.evictions"] = ss.Evictions
+		gauges["snapshot.entries"] = int64(ss.Entries)
+		gauges["snapshot.bytes"] = ss.Bytes
+	}
+	s.met.write(w, gauges)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

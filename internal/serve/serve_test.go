@@ -468,6 +468,50 @@ func TestEndToEndRealJob(t *testing.T) {
 	}
 }
 
+// TestWarmStartAcrossRestart is the serve-level warm-start acceptance
+// test: two servers sharing one snapshot store (a daemon restart in
+// miniature — the result cache is per-process, the snapshot dir is
+// not). The first run is cold and writes checkpoints; the second
+// server's result cache is empty, so it re-simulates — but resumes
+// from the stored checkpoints, and its rendered result is
+// byte-identical to the cold run's.
+func TestWarmStartAcrossRestart(t *testing.T) {
+	snaps, err := pei.OpenSnapshotStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workloadSpec(0)
+
+	run := func() (string, *httptest.Server) {
+		_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4, Snapshots: snaps})
+		status, v := submit(t, ts, spec)
+		if status != http.StatusAccepted {
+			t.Fatalf("submit status %d", status)
+		}
+		if final := waitTerminal(t, ts, v.ID); final.State != StateDone {
+			t.Fatalf("job ended %s (%s)", final.State, final.Error)
+		}
+		_, out := getBody(t, ts.URL+"/v1/jobs/"+v.ID+"/result")
+		return out, ts
+	}
+
+	coldOut, coldTS := run()
+	if misses := metricValue(t, coldTS, "peiserved_snapshot_misses"); misses == 0 {
+		t.Fatal("cold run recorded no snapshot misses")
+	}
+	if written := metricValue(t, coldTS, "peiserved_snapshot_bytes_written"); written == 0 {
+		t.Fatal("cold run wrote no snapshot bytes")
+	}
+
+	warmOut, warmTS := run()
+	if warmOut != coldOut {
+		t.Fatalf("warm result diverged from cold:\n--- cold\n%s\n--- warm\n%s", coldOut, warmOut)
+	}
+	if hits := metricValue(t, warmTS, "peiserved_snapshot_hits"); hits == 0 {
+		t.Fatal("warm run had no snapshot hits")
+	}
+}
+
 // TestExperimentsEndpointAndBadSpecs covers the discovery endpoint and
 // submission validation.
 func TestExperimentsEndpointAndBadSpecs(t *testing.T) {

@@ -1,0 +1,337 @@
+// Package snap is the machine-state serialization layer behind
+// checkpoint/warm-start snapshots: a little-endian binary record format
+// (the same byte conventions as internal/trace) with explicit section
+// tags and a version header, plus a content-addressed on-disk blob
+// store with a byte-budget LRU (store.go).
+//
+// Every stateful component of the simulator implements a
+// Snapshot(*snap.Writer) / Restore(*snap.Reader) pair against this
+// package. The format is deliberately strict: sections are tagged and
+// verified on read, counts are written before variable-length payloads,
+// and any mismatch (wrong tag, short read, version skew) poisons the
+// reader so a corrupt or mismatched blob fails loudly instead of
+// resuming a subtly wrong machine.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// magic identifies a snapshot stream; the trailing digit is the major
+// format generation (bump it for incompatible layout changes).
+var magic = [8]byte{'P', 'E', 'I', 'S', 'N', 'A', 'P', '1'}
+
+// Version is the snapshot format version written after the magic. It
+// participates in the content-address digest, so a format bump
+// invalidates old blobs instead of misreading them.
+const Version uint32 = 1
+
+// Writer serializes snapshot records to an underlying io.Writer with a
+// sticky error: after the first failure every call is a no-op and Err
+// reports the cause.
+type Writer struct {
+	w   io.Writer
+	err error
+	buf [8]byte
+}
+
+// NewWriter writes the magic and version header and returns a Writer.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w}
+	if _, err := w.Write(magic[:]); err != nil {
+		sw.err = err
+		return sw
+	}
+	sw.U32(Version)
+	return sw
+}
+
+// Err returns the first error encountered, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Fail poisons the writer with err (for callers that detect an
+// unserializable state mid-snapshot, e.g. in-flight transactions).
+func (w *Writer) Fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) write(b []byte) {
+	if w.err != nil {
+		return
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+	}
+}
+
+// Section writes a 4-character section tag. Readers verify tags, so a
+// layout drift between Snapshot and Restore fails at the first
+// misaligned section instead of silently transposing state.
+func (w *Writer) Section(tag string) {
+	if len(tag) != 4 {
+		w.Fail(fmt.Errorf("snap: section tag %q must be 4 bytes", tag))
+		return
+	}
+	w.write([]byte(tag))
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// F32 writes a float32 as its IEEE-754 bits.
+func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	w.write(b)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) { w.Bytes([]byte(s)) }
+
+// I64s writes a length-prefixed []int64.
+func (w *Writer) I64s(xs []int64) {
+	w.U64(uint64(len(xs)))
+	for _, x := range xs {
+		w.I64(x)
+	}
+}
+
+// U64s writes a length-prefixed []uint64.
+func (w *Writer) U64s(xs []uint64) {
+	w.U64(uint64(len(xs)))
+	for _, x := range xs {
+		w.U64(x)
+	}
+}
+
+// maxSliceLen bounds length prefixes read back from a blob, so a
+// corrupt stream cannot provoke a multi-gigabyte allocation.
+const maxSliceLen = 1 << 32
+
+// Reader deserializes snapshot records with the same sticky-error
+// discipline as Writer.
+type Reader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+// NewReader validates the magic and version header and returns a
+// Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	sr := &Reader{r: r}
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("snap: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("snap: bad magic %q (not a snapshot stream)", m[:])
+	}
+	if v := sr.U32(); v != Version {
+		return nil, fmt.Errorf("snap: format version %d, want %d", v, Version)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return sr, nil
+}
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fail poisons the reader with err (for callers that detect a state
+// mismatch mid-restore, e.g. a geometry change).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) read(b []byte) bool {
+	if r.err != nil {
+		return false
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return false
+	}
+	return true
+}
+
+// Section reads a 4-byte tag and errors unless it matches.
+func (r *Reader) Section(tag string) {
+	var got [4]byte
+	if !r.read(got[:]) {
+		return
+	}
+	if string(got[:]) != tag {
+		r.Fail(fmt.Errorf("snap: section %q, want %q (layout mismatch)", got[:], tag))
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if !r.read(r.buf[:1]) {
+		return 0
+	}
+	return r.buf[0]
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	if !r.read(r.buf[:4]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.buf[:4])
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	if !r.read(r.buf[:8]) {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(r.buf[:8])
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int64-encoded int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// F32 reads an IEEE-754 float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// Len reads a length prefix, rejecting implausible values.
+func (r *Reader) Len() int {
+	n := r.U64()
+	if n > maxSliceLen {
+		r.Fail(fmt.Errorf("snap: implausible length %d", n))
+		return 0
+	}
+	return int(n)
+}
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	if !r.read(b) {
+		return nil
+	}
+	return b
+}
+
+// BytesInto reads a length-prefixed byte payload into dst, which must
+// be exactly the recorded length.
+func (r *Reader) BytesInto(dst []byte) {
+	n := r.Len()
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Fail(fmt.Errorf("snap: payload length %d, want %d", n, len(dst)))
+		return
+	}
+	r.read(dst)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// I64s reads a length-prefixed []int64.
+func (r *Reader) I64s() []int64 {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = r.I64()
+	}
+	return xs
+}
+
+// I64sInto reads a length-prefixed []int64 into dst, which must be
+// exactly the recorded length.
+func (r *Reader) I64sInto(dst []int64) {
+	n := r.Len()
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Fail(fmt.Errorf("snap: slice length %d, want %d", n, len(dst)))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.I64()
+	}
+}
+
+// U64s reads a length-prefixed []uint64.
+func (r *Reader) U64s() []uint64 {
+	n := r.Len()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = r.U64()
+	}
+	return xs
+}
+
+// ErrNotQuiescent is the sentinel components wrap when asked to
+// snapshot or restore with in-flight work outstanding: snapshots are
+// only defined at quiescent phase boundaries.
+var ErrNotQuiescent = errors.New("snap: machine not quiescent")

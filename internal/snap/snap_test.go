@@ -1,0 +1,139 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("TEST")
+	w.U8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 62)
+	w.I64(-42)
+	w.Int(7)
+	w.F64(math.Pi)
+	w.F32(2.5)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+	w.I64s([]int64{-1, 0, 1})
+	w.U64s([]uint64{10, 20})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("TEST")
+	if got := r.U8(); got != 0xAB {
+		t.Fatalf("U8 %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip")
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 %#x", got)
+	}
+	if got := r.U64(); got != 1<<62 {
+		t.Fatalf("U64 %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 %d", got)
+	}
+	if got := r.Int(); got != 7 {
+		t.Fatalf("Int %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 %v", got)
+	}
+	if got := r.F32(); got != 2.5 {
+		t.Fatalf("F32 %v", got)
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Fatalf("String %q", got)
+	}
+	is := r.I64s()
+	if len(is) != 3 || is[0] != -1 || is[2] != 1 {
+		t.Fatalf("I64s %v", is)
+	}
+	us := r.U64s()
+	if len(us) != 2 || us[0] != 10 || us[1] != 20 {
+		t.Fatalf("U64s %v", us)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionMismatchPoisonsReader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("AAAA")
+	w.I64(1)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("BBBB")
+	if r.Err() == nil {
+		t.Fatal("section mismatch went undetected")
+	}
+	// Sticky: subsequent reads stay failed and return zero values.
+	if v := r.I64(); v != 0 || r.Err() == nil {
+		t.Fatalf("poisoned reader returned %d", v)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTASNAP-extra--"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version+1)
+	buf.Write(v[:])
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("future format version accepted")
+	}
+}
+
+func TestImplausibleLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(maxSliceLen + 1) // forged length prefix
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Bytes(); got != nil || r.Err() == nil {
+		t.Fatalf("forged length produced %d bytes, err %v", len(got), r.Err())
+	}
+}
+
+func TestTruncatedStreamFailsLoudly(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Section("TRNC")
+	w.Bytes(make([]byte, 64))
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("TRNC")
+	if got := r.Bytes(); r.Err() == nil {
+		t.Fatalf("truncated payload read %d bytes without error", len(got))
+	}
+}

@@ -1,0 +1,110 @@
+package snap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStoreBestPicksDeepestPhase(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const digest = "feedface"
+	if _, ok := s.Best(digest); ok {
+		t.Fatal("empty store claimed a blob")
+	}
+	for phase, cycle := range map[int]int64{1: 100, 3: 900, 2: 400} {
+		if err := s.Put(digest, phase, cycle, []byte{byte(phase)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Put("0123ef", 9, 999, []byte("x")) // different digest must not win
+
+	b, ok := s.Best(digest)
+	if !ok || b.Phase != 3 || b.Cycle != 900 || b.Digest != digest {
+		t.Fatalf("Best = %+v, ok %v; want phase 3 cycle 900", b, ok)
+	}
+	data, err := os.ReadFile(b.Path)
+	if err != nil || len(data) != 1 || data[0] != 3 {
+		t.Fatalf("blob contents %v (%v)", data, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 4 {
+		t.Fatalf("stats %+v; want 1 hit, 1 miss, 4 entries", st)
+	}
+	if st.BytesWritten != 4 {
+		t.Fatalf("bytes written %d, want 4", st.BytesWritten)
+	}
+}
+
+func TestStoreEvictsLRUBeyondBudget(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 100)
+	for i, d := range []string{"aaaa", "bbbb", "cccc"} {
+		if err := s.Put(d, 1, 10, blob); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so LRU order is deterministic on coarse
+		// filesystem timestamps.
+		ts := time.Now().Add(time.Duration(i-10) * time.Second)
+		os.Chtimes(filepath.Join(s.Dir(), d+"-p1-c10.snap"), ts, ts)
+	}
+	// 300 bytes resident vs a 256 budget: the oldest blob goes.
+	s.Put("dddd", 1, 10, []byte{})
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions: %+v", st)
+	}
+	if st.Bytes > 256 {
+		t.Fatalf("store over budget: %+v", st)
+	}
+	if _, ok := s.Best("aaaa"); ok {
+		t.Fatal("oldest blob survived eviction")
+	}
+	if _, ok := s.Best("cccc"); !ok {
+		t.Fatal("newest blob was evicted")
+	}
+}
+
+func TestStoreBestRefreshesAccessTime(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("aaaa", 1, 10, []byte("x"))
+	old := time.Now().Add(-time.Hour)
+	path := filepath.Join(s.Dir(), "aaaa-p1-c10.snap")
+	os.Chtimes(path, old, old)
+	if _, ok := s.Best("aaaa"); !ok {
+		t.Fatal("blob vanished")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ModTime().After(old.Add(time.Minute)) {
+		t.Fatalf("hit did not refresh access time: %v", info.ModTime())
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("not a blob"), 0o644)
+	os.WriteFile(filepath.Join(dir, "zzzz-p1-c10.snap.tmp123"), []byte("torn"), 0o644)
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("foreign files counted as blobs: %+v", st)
+	}
+	if _, ok := s.Best("zzzz"); ok {
+		t.Fatal("temp file served as a blob")
+	}
+}

@@ -9,6 +9,7 @@
 // Format (little-endian):
 //
 //	magic "PEITR1\n\x00" | threads u32 | storeSize u64
+//	magic "PEITR2\n\x00" | threads u32 | storeSize u64 | digestLen u8 | digest
 //	records: thread u8 | kind u8 | payload
 //	  kind 0 compute: cycles u32
 //	  kind 1 load:    addr u64
@@ -29,7 +30,15 @@ import (
 	"pimsim/internal/pim"
 )
 
-var magic = [8]byte{'P', 'E', 'I', 'T', 'R', '1', '\n', 0}
+// Two header versions. v1 is the original digest-less header; v2 adds
+// a config-digest record identifying the machine configuration the
+// trace was recorded on. Writers emit v2 only when a digest is present,
+// so digest-less traces stay readable by pre-v2 tooling, and readers
+// accept both.
+var (
+	magicV1 = [8]byte{'P', 'E', 'I', 'T', 'R', '1', '\n', 0}
+	magicV2 = [8]byte{'P', 'E', 'I', 'T', 'R', '2', '\n', 0}
+)
 
 const (
 	recCompute = iota
@@ -52,7 +61,21 @@ type Writer struct {
 // NewWriter writes a trace header for the given thread count and store
 // size (the simulated-memory high-water mark the replayer must allocate).
 func NewWriter(w io.Writer, threads int, storeSize uint64) (*Writer, error) {
+	return NewWriterDigest(w, threads, storeSize, "")
+}
+
+// NewWriterDigest is NewWriter plus an optional config digest recorded
+// in the header (see Trace.ConfigDigest). An empty digest writes the
+// original v1 header, byte-identical to pre-digest traces.
+func NewWriterDigest(w io.Writer, threads int, storeSize uint64, digest string) (*Writer, error) {
+	if len(digest) > 255 {
+		return nil, fmt.Errorf("trace: config digest longer than 255 bytes")
+	}
 	bw := bufio.NewWriter(w)
+	magic := magicV1
+	if digest != "" {
+		magic = magicV2
+	}
 	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, err
 	}
@@ -61,6 +84,14 @@ func NewWriter(w io.Writer, threads int, storeSize uint64) (*Writer, error) {
 	binary.LittleEndian.PutUint64(hdr[4:], storeSize)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return nil, err
+	}
+	if digest != "" {
+		if err := bw.WriteByte(byte(len(digest))); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(digest); err != nil {
+			return nil, err
+		}
 	}
 	return &Writer{w: bw, threads: threads, barriers: make(map[*cpu.Barrier]uint8)}, nil
 }
@@ -152,6 +183,11 @@ func (r *RecordingStream) Next() (cpu.Op, bool) {
 type Trace struct {
 	// StoreSize is the simulated-memory size the machine must allocate.
 	StoreSize uint64
+	// ConfigDigest identifies the machine configuration the trace was
+	// recorded on (empty for v1 traces and digest-less recordings).
+	// Replays on a different configuration are legitimate — that is the
+	// point of traces — but the digest lets tooling flag the mismatch.
+	ConfigDigest string
 	// PerThread holds each thread's ops in order.
 	PerThread [][]cpu.Op
 	// barrierParticipants maps trace barrier ids to participant thread
@@ -167,7 +203,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if m != magic {
+	if m != magicV1 && m != magicV2 {
 		return nil, fmt.Errorf("trace: bad magic %q", m)
 	}
 	var hdr [12]byte
@@ -182,6 +218,17 @@ func Read(r io.Reader) (*Trace, error) {
 		StoreSize:           binary.LittleEndian.Uint64(hdr[4:]),
 		PerThread:           make([][]cpu.Op, threads),
 		barrierParticipants: make(map[uint8]map[int]bool),
+	}
+	if m == magicV2 {
+		n, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading config digest: %w", err)
+		}
+		digest := make([]byte, int(n))
+		if _, err := io.ReadFull(br, digest); err != nil {
+			return nil, fmt.Errorf("trace: reading config digest: %w", err)
+		}
+		t.ConfigDigest = string(digest)
 	}
 	// First pass: raw records with barrier ids; barriers are resolved
 	// into shared objects afterwards, once participant counts are known.

@@ -74,6 +74,65 @@ func TestRoundTripAllOpKinds(t *testing.T) {
 	}
 }
 
+// TestConfigDigestHeader pins the v2 header: a digest survives the
+// round trip, a digest-less writer emits a byte-identical v1 header
+// (old tooling keeps reading it), and records after a v2 header parse
+// exactly as they do after a v1 header.
+func TestConfigDigestHeader(t *testing.T) {
+	const digest = "0123456789abcdef0123456789abcdef"
+	write := func(d string) *bytes.Buffer {
+		var buf bytes.Buffer
+		w, err := NewWriterDigest(&buf, 1, 4096, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Record(0, cpu.Op{Kind: cpu.OpLoad, Addr: 0xBEEF})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+
+	v2 := write(digest)
+	if !bytes.HasPrefix(v2.Bytes(), magicV2[:]) {
+		t.Fatal("digest-carrying trace did not use the v2 magic")
+	}
+	tr, err := Read(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ConfigDigest != digest {
+		t.Fatalf("digest %q, want %q", tr.ConfigDigest, digest)
+	}
+	if len(tr.PerThread[0]) != 1 || tr.PerThread[0][0].Addr != 0xBEEF {
+		t.Fatalf("records after v2 header wrong: %+v", tr.PerThread[0])
+	}
+
+	v1 := write("")
+	if !bytes.HasPrefix(v1.Bytes(), magicV1[:]) {
+		t.Fatal("digest-less trace did not keep the v1 magic")
+	}
+	var legacy bytes.Buffer
+	lw, err := NewWriter(&legacy, 1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw.Record(0, cpu.Op{Kind: cpu.OpLoad, Addr: 0xBEEF})
+	if err := lw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Bytes(), legacy.Bytes()) {
+		t.Fatal("NewWriterDigest with empty digest diverged from NewWriter bytes")
+	}
+	tr1, err := Read(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.ConfigDigest != "" {
+		t.Fatalf("v1 trace grew a digest %q", tr1.ConfigDigest)
+	}
+}
+
 func TestReadTruncatedFile(t *testing.T) {
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, 1, 4096)

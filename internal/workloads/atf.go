@@ -14,6 +14,7 @@ import (
 // graph; the counter increments are 8-byte atomic-increment PEIs landing
 // randomly across the counter array (pointer chasing over edges).
 type atf struct {
+	phaseCtl
 	p  Params
 	gm *GraphMem
 
@@ -44,6 +45,7 @@ func (w *atf) Streams(m *machine.Machine) []cpu.Stream {
 	}
 
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(1, barrier)
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(n, w.p.Threads, t)
@@ -66,7 +68,7 @@ func (w *atf) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

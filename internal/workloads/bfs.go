@@ -21,6 +21,7 @@ const infDist = uint64(1) << 60
 // computed by the golden implementation up front (see DESIGN.md on
 // fixed-round supersteps).
 type bfs struct {
+	phaseCtl
 	p  Params
 	gm *GraphMem
 
@@ -72,6 +73,7 @@ func (w *bfs) Streams(m *machine.Machine) []cpu.Stream {
 	w.level.Set(w.src, 0)
 
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(w.rounds, barrier)
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(n, w.p.Threads, t)
@@ -98,7 +100,7 @@ func (w *bfs) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

@@ -8,6 +8,7 @@ import (
 	"pimsim/internal/machine"
 	"pimsim/internal/memlayout"
 	"pimsim/internal/pim"
+	"pimsim/internal/snap"
 )
 
 // hashjoin is the in-memory hash join of §5.2: build a bucket-chained
@@ -18,6 +19,7 @@ import (
 // in the out-of-order window (the software unrolling the paper
 // describes).
 type hashjoin struct {
+	phaseCtl
 	p Params
 
 	nBuckets   int
@@ -144,6 +146,11 @@ func (w *hashjoin) Streams(m *machine.Machine) []cpu.Stream {
 		}
 	}
 
+	w.initPhases(1, nil)
+	// The match counter lives host-side (PEI completion callbacks), so it
+	// must ride in the snapshot alongside the machine state.
+	w.snapExtra = func(sw *snap.Writer) { sw.I64(w.hits) }
+	w.restoreExtra = func(sr *snap.Reader) { w.hits = sr.I64() }
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(w.sRows, w.p.Threads, t)
@@ -167,7 +174,7 @@ func (w *hashjoin) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

@@ -8,6 +8,7 @@ import (
 	"pimsim/internal/machine"
 	"pimsim/internal/memlayout"
 	"pimsim/internal/pim"
+	"pimsim/internal/snap"
 )
 
 // histBins is the paper's 256-bin histogram over 32-bit integers; the
@@ -23,6 +24,7 @@ const (
 // the returned 16 bin bytes are accumulated into thread-local counts,
 // which are merged into the shared bin array at the end.
 type histogram struct {
+	phaseCtl
 	p Params
 
 	n        int
@@ -95,6 +97,9 @@ func (w *histogram) Streams(m *machine.Machine) []cpu.Stream {
 	w.buildData(m)
 	blocks := w.n / 16
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(1, barrier)
+	w.snapExtra = func(sw *snap.Writer) { snapU64Grid(sw, w.local) }
+	w.restoreExtra = func(sr *snap.Reader) { restoreU64Grid(sr, w.local) }
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(blocks, w.p.Threads, t)
@@ -120,7 +125,7 @@ func (w *histogram) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

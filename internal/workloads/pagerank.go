@@ -16,6 +16,7 @@ import (
 // (phase B). Phases are separated by barrier + pfence, exactly where
 // Figure 1 requires the pfence.
 type pagerank struct {
+	phaseCtl
 	p          Params
 	iterations int
 
@@ -89,6 +90,7 @@ func (w *pagerank) Streams(m *machine.Machine) []cpu.Stream {
 	w.goldenRank, w.goldenDiff = goldenPageRank(w.gm, w.iterations)
 
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(2*w.iterations, barrier)
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(n, w.p.Threads, t)
@@ -142,7 +144,7 @@ func (w *pagerank) Streams(m *machine.Machine) []cpu.Stream {
 				q.PushStore(w.nextRank.Addr(v))
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

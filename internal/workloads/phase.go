@@ -1,0 +1,179 @@
+package workloads
+
+import (
+	"fmt"
+
+	"pimsim/internal/cpu"
+	"pimsim/internal/snap"
+)
+
+// Phased is implemented by workloads whose runs can be cut at superstep
+// boundaries for checkpointing. Between phases the machine drains to
+// quiescence; SnapshotTo then captures the only state that lives outside
+// the simulated machine — the generators' positions and any host-side
+// accumulators PEI completion callbacks write into.
+//
+// All ten workloads implement Phased by embedding phaseCtl.
+type Phased interface {
+	Workload
+	// Rounds reports the total number of supersteps the workload runs.
+	Rounds() int
+	// SetRoundLimit caps generation at the first limit rounds (0 or
+	// negative clears the cap). With a cap below Rounds(), streams
+	// report exhaustion at the cap and the machine drains to a
+	// checkpointable boundary; raising the cap and re-arming the cores
+	// resumes generation exactly where it stopped.
+	SetRoundLimit(limit int)
+	// SnapshotTo appends the workload's generator state to a machine
+	// snapshot stream. Only valid at a drained phase boundary.
+	SnapshotTo(w *snap.Writer)
+	// RestoreFrom loads generator state into a freshly built workload
+	// whose Streams have been constructed on the restore target.
+	RestoreFrom(r *snap.Reader)
+}
+
+// Every workload is checkpointable.
+var (
+	_ Phased = (*atf)(nil)
+	_ Phased = (*bfs)(nil)
+	_ Phased = (*pagerank)(nil)
+	_ Phased = (*sssp)(nil)
+	_ Phased = (*wcc)(nil)
+	_ Phased = (*hashjoin)(nil)
+	_ Phased = (*histogram)(nil)
+	_ Phased = (*radix)(nil)
+	_ Phased = (*streamcluster)(nil)
+	_ Phased = (*svm)(nil)
+)
+
+// phaseCtl is the shared Phased implementation. Streams() calls
+// initPhases and registers each thread's roundDriver (and the shared
+// barrier, if any); workloads with host-side PEI accumulators hook
+// snapExtra/restoreExtra to carry them across the boundary.
+type phaseCtl struct {
+	totalRounds int
+	barrier     *cpu.Barrier
+	drivers     []*roundDriver
+	// snapExtra/restoreExtra serialize workload-specific host state
+	// (e.g. hashjoin's match counter, histogram's per-thread bins).
+	snapExtra    func(w *snap.Writer)
+	restoreExtra func(r *snap.Reader)
+}
+
+// initPhases resets phase bookkeeping for a (re)build of the streams.
+func (c *phaseCtl) initPhases(rounds int, barrier *cpu.Barrier) {
+	c.totalRounds = rounds
+	c.barrier = barrier
+	c.drivers = nil
+	c.snapExtra = nil
+	c.restoreExtra = nil
+}
+
+// addDriver registers a thread's driver and returns it (so call sites
+// can register inline while building streams).
+func (c *phaseCtl) addDriver(d *roundDriver) *roundDriver {
+	c.drivers = append(c.drivers, d)
+	return d
+}
+
+func (c *phaseCtl) Rounds() int { return c.totalRounds }
+
+func (c *phaseCtl) SetRoundLimit(limit int) {
+	for _, d := range c.drivers {
+		d.limit = limit
+	}
+}
+
+func (c *phaseCtl) SnapshotTo(w *snap.Writer) {
+	w.Section("WKLD")
+	w.Bool(c.barrier != nil)
+	if c.barrier != nil {
+		c.barrier.SnapshotTo(w)
+	}
+	w.Int(len(c.drivers))
+	for _, d := range c.drivers {
+		w.Int(d.round)
+		w.Int(d.pos)
+		w.Bool(d.tailDone)
+		w.Bool(d.budget != nil)
+		if d.budget != nil {
+			w.I64(*d.budget)
+		}
+	}
+	if c.snapExtra != nil {
+		c.snapExtra(w)
+	}
+}
+
+func (c *phaseCtl) RestoreFrom(r *snap.Reader) {
+	r.Section("WKLD")
+	hasBarrier := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if hasBarrier != (c.barrier != nil) {
+		r.Fail(fmt.Errorf("workloads: snapshot barrier presence %v, workload has %v", hasBarrier, c.barrier != nil))
+		return
+	}
+	if c.barrier != nil {
+		c.barrier.RestoreFrom(r)
+	}
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n != len(c.drivers) {
+		r.Fail(fmt.Errorf("workloads: snapshot has %d drivers, workload has %d", n, len(c.drivers)))
+		return
+	}
+	for _, d := range c.drivers {
+		d.round = r.Int()
+		d.pos = r.Int()
+		d.tailDone = r.Bool()
+		hasBudget := r.Bool()
+		if r.Err() != nil {
+			return
+		}
+		if hasBudget != (d.budget != nil) {
+			r.Fail(fmt.Errorf("workloads: snapshot budget presence %v, driver has %v", hasBudget, d.budget != nil))
+			return
+		}
+		if hasBudget {
+			*d.budget = r.I64()
+		}
+	}
+	if c.restoreExtra != nil {
+		c.restoreExtra(r)
+	}
+}
+
+// snapU64Grid / restoreU64Grid serialize per-thread accumulator arrays
+// (histogram bins, radix partition counts) as extra sections.
+func snapU64Grid(w *snap.Writer, grid [][]uint64) {
+	w.Int(len(grid))
+	for _, row := range grid {
+		w.U64s(row)
+	}
+}
+
+func restoreU64Grid(r *snap.Reader, grid [][]uint64) {
+	n := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if n != len(grid) {
+		r.Fail(fmt.Errorf("workloads: snapshot has %d accumulator rows, workload has %d", n, len(grid)))
+		return
+	}
+	for t := range grid {
+		row := r.U64s()
+		if r.Err() != nil {
+			return
+		}
+		if len(row) != len(grid[t]) {
+			r.Fail(fmt.Errorf("workloads: accumulator row %d has %d entries, snapshot has %d", t, len(grid[t]), len(row)))
+			return
+		}
+		copy(grid[t], row)
+	}
+}

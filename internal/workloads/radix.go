@@ -6,6 +6,7 @@ import (
 	"pimsim/internal/addr"
 	"pimsim/internal/cpu"
 	"pimsim/internal/machine"
+	"pimsim/internal/snap"
 )
 
 // radix is RP of §5.2: radix partitioning of an in-memory relation.
@@ -15,6 +16,7 @@ import (
 // same relation (database servers answering a query stream); Passes
 // controls the repeat count.
 type radix struct {
+	phaseCtl
 	p      Params
 	Passes int
 
@@ -110,6 +112,12 @@ func (w *radix) Streams(m *machine.Machine) []cpu.Stream {
 	}
 
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(2*w.Passes, barrier)
+	// scatterCursor needs no snapshot: beforeRound recomputes it from
+	// offsets at the start of every scatter round, and phase boundaries
+	// only fall between rounds.
+	w.snapExtra = func(sw *snap.Writer) { snapU64Grid(sw, w.local) }
+	w.restoreExtra = func(sr *snap.Reader) { restoreU64Grid(sr, w.local) }
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		blo, bhi := PartitionRange(totalBlocks, w.p.Threads, t)
@@ -150,7 +158,7 @@ func (w *radix) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

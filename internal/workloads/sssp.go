@@ -16,6 +16,7 @@ import (
 // golden implementation. Edge weights are a deterministic function of
 // the edge so no extra weight array is needed.
 type sssp struct {
+	phaseCtl
 	p  Params
 	gm *GraphMem
 
@@ -77,6 +78,7 @@ func (w *sssp) Streams(m *machine.Machine) []cpu.Stream {
 	w.dist.Set(w.src, 0)
 
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(w.rounds, barrier)
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(n, w.p.Threads, t)
@@ -104,7 +106,7 @@ func (w *sssp) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

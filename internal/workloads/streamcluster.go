@@ -8,6 +8,7 @@ import (
 	"pimsim/internal/addr"
 	"pimsim/internal/cpu"
 	"pimsim/internal/machine"
+	"pimsim/internal/snap"
 )
 
 // streamcluster is SC of §5.3: online clustering whose kernel computes
@@ -18,6 +19,7 @@ import (
 // than 16 dimensions issue one PEI per chunk and the squared partial
 // distances are summed host-side.
 type streamcluster struct {
+	phaseCtl
 	p Params
 
 	points, dims, centers int
@@ -117,6 +119,27 @@ func (w *streamcluster) Streams(m *machine.Machine) []cpu.Stream {
 			w.partial[p][c] = make([]float32, chunks)
 		}
 	}
+	w.initPhases(w.centers, nil)
+	// The chunk distances live host-side (PEI completion callbacks);
+	// the shape is deterministic, so values stream without lengths.
+	w.snapExtra = func(sw *snap.Writer) {
+		for _, pc := range w.partial {
+			for _, cs := range pc {
+				for _, v := range cs {
+					sw.F32(v)
+				}
+			}
+		}
+	}
+	w.restoreExtra = func(sr *snap.Reader) {
+		for _, pc := range w.partial {
+			for _, cs := range pc {
+				for i := range cs {
+					cs[i] = sr.F32()
+				}
+			}
+		}
+	}
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(w.points, w.p.Threads, t)
@@ -147,7 +170,7 @@ func (w *streamcluster) Streams(m *machine.Machine) []cpu.Stream {
 				q.PushCompute(4) // running-min bookkeeping
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

@@ -9,6 +9,7 @@ import (
 	"pimsim/internal/cpu"
 	"pimsim/internal/machine"
 	"pimsim/internal/pim"
+	"pimsim/internal/snap"
 )
 
 // newEuclidPEI builds the 16-dim single-precision distance PEI (SC).
@@ -28,6 +29,7 @@ func newEuclidPEI(target uint64, input []byte) *pim.PEI {
 // scaled feature count (DESIGN.md §3) — the access pattern depends only
 // on the shape.
 type svm struct {
+	phaseCtl
 	p Params
 
 	instances, features int
@@ -107,6 +109,21 @@ func (w *svm) Streams(m *machine.Machine) []cpu.Stream {
 	for i := range w.partials {
 		w.partials[i] = make([]float64, w.features/4)
 	}
+	w.initPhases(1, nil)
+	w.snapExtra = func(sw *snap.Writer) {
+		for _, row := range w.partials {
+			for _, v := range row {
+				sw.F64(v)
+			}
+		}
+	}
+	w.restoreExtra = func(sr *snap.Reader) {
+		for _, row := range w.partials {
+			for i := range row {
+				row[i] = sr.F64()
+			}
+		}
+	}
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(w.instances, w.p.Threads, t)
@@ -137,7 +154,7 @@ func (w *svm) Streams(m *machine.Machine) []cpu.Stream {
 				q.PushCompute(2)
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

@@ -15,6 +15,7 @@ import (
 // with atomic-min PEIs until labels stop changing; the component label
 // converges to the smallest vertex id in the component.
 type wcc struct {
+	phaseCtl
 	p  Params
 	gm *GraphMem
 
@@ -67,6 +68,7 @@ func (w *wcc) Streams(m *machine.Machine) []cpu.Stream {
 	}
 
 	barrier := cpu.NewBarrier(w.p.Threads)
+	w.initPhases(w.rounds, barrier)
 	streams := make([]cpu.Stream, w.p.Threads)
 	for t := 0; t < w.p.Threads; t++ {
 		lo, hi := PartitionRange(n, w.p.Threads, t)
@@ -91,7 +93,7 @@ func (w *wcc) Streams(m *machine.Machine) []cpu.Stream {
 				}
 			},
 		}
-		streams[t] = d.stream()
+		streams[t] = w.addDriver(d).stream()
 	}
 	return streams
 }

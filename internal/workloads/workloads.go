@@ -165,6 +165,13 @@ type roundDriver struct {
 	// afterRounds optionally emits a final tail after the last barrier.
 	afterRounds func(q *cpu.Queue)
 
+	// limit, when positive, caps generation at the first limit rounds:
+	// the stream reports exhaustion at the cap so the machine drains to
+	// a quiescent checkpoint boundary, and raising the limit (plus
+	// re-arming the core) resumes exactly where generation stopped.
+	// Zero or negative means no cap.
+	limit int
+
 	round, pos int
 	tailDone   bool
 }
@@ -172,6 +179,9 @@ type roundDriver struct {
 const fillChunk = 64
 
 func (d *roundDriver) Fill(q *cpu.Queue) bool {
+	if d.limit > 0 && d.round >= d.limit && d.round < d.rounds {
+		return false // parked at a phase boundary
+	}
 	if d.round >= d.rounds {
 		if d.afterRounds != nil && !d.tailDone {
 			d.tailDone = true

@@ -290,6 +290,14 @@ type RunJobOptions struct {
 	// Progress, if non-nil, receives simulation start/finish events;
 	// must be goroutine-safe.
 	Progress func(JobProgress)
+	// Snapshots, if non-nil, enables warm starts: every simulation the
+	// job runs resumes from the deepest matching checkpoint in the store
+	// and writes new phase-boundary checkpoints back. Functional results
+	// are unchanged, but checkpointed runs use the phased execution
+	// model (see DESIGN.md §13), so a server should enable snapshots for
+	// all jobs or none — mixing the two models splits cycle counts for
+	// otherwise-identical specs.
+	Snapshots *SnapshotStore
 }
 
 // RunJob executes the spec and writes its rendered result — the same
@@ -313,6 +321,7 @@ func RunJob(ctx context.Context, spec JobSpec, w io.Writer, opts RunJobOptions) 
 			Progress:      opts.Progress,
 			Kernel:        spec.Kernel,
 			KernelWorkers: spec.KernelWorkers,
+			SnapshotStore: opts.Snapshots,
 		}
 		return Reproduce(ctx, spec.Experiment, ro, w)
 	default: // JobWorkload; Normalize rejected everything else
@@ -329,9 +338,24 @@ func RunJob(ctx context.Context, spec JobSpec, w io.Writer, opts RunJobOptions) 
 		if opts.Progress != nil {
 			opts.Progress(JobProgress{Cell: cell, Simulations: 1})
 		}
-		km, _ := machine.ParseKernelMode(spec.Kernel) // validated by Normalize
-		res, err := runWorkloadOn(ctx, cfg, mode, spec.Workload, params, spec.Verify,
-			machine.WithKernel(km, spec.KernelWorkers))
+		var res Result
+		var err error
+		if opts.Snapshots != nil {
+			// Warm-startable path: a throwaway Runner carrying the shared
+			// store runs the workload phased, resuming from the deepest
+			// stored boundary.
+			r := harness.NewRunner(harness.Options{
+				Cfg:           cfg,
+				Kernel:        spec.Kernel,
+				KernelWorkers: spec.KernelWorkers,
+				SnapshotStore: opts.Snapshots,
+			})
+			res, err = r.RunPhasedWorkload(ctx, spec.Workload, params, mode, spec.Verify)
+		} else {
+			km, _ := machine.ParseKernelMode(spec.Kernel) // validated by Normalize
+			res, err = runWorkloadOn(ctx, cfg, mode, spec.Workload, params, spec.Verify,
+				machine.WithKernel(km, spec.KernelWorkers))
+		}
 		if opts.Progress != nil {
 			var cycles int64
 			if err == nil {

@@ -32,6 +32,7 @@ import (
 	"pimsim/internal/harness"
 	"pimsim/internal/machine"
 	"pimsim/internal/pim"
+	"pimsim/internal/snap"
 	"pimsim/internal/workloads"
 )
 
@@ -278,6 +279,22 @@ func runWorkloadOn(ctx context.Context, cfg *Config, mode Mode, name string, p W
 	return res, nil
 }
 
+// SnapshotStore is the content-addressed checkpoint store behind warm
+// starts: blobs keyed by (config digest, phase, cycle) with LRU
+// eviction. Point ReproduceOptions.SnapshotDir (or .SnapshotStore) or
+// RunJobOptions.Snapshots at one to resume sweeps from the deepest
+// shared checkpoint.
+type SnapshotStore = snap.Store
+
+// SnapshotStoreStats are a store's hit/miss/eviction counters.
+type SnapshotStoreStats = snap.StoreStats
+
+// OpenSnapshotStore opens (creating if needed) a snapshot store rooted
+// at dir with an LRU byte budget (<= 0: unlimited).
+func OpenSnapshotStore(dir string, budget int64) (*SnapshotStore, error) {
+	return snap.NewStore(dir, budget)
+}
+
 // ReproduceOptions configures the experiment harness (including
 // Parallelism, the worker-pool width for concurrent cells).
 type ReproduceOptions = harness.Options
@@ -379,7 +396,25 @@ func Experiments() []string {
 // ctx.Err(). "all" runs every experiment on one shared runner so figures
 // 6, 7, 10, and 12 reuse simulation cells.
 func Reproduce(ctx context.Context, name string, opts ReproduceOptions, w io.Writer) error {
+	_, err := ReproduceWithReport(ctx, name, opts, w)
+	return err
+}
+
+// SnapshotReport summarizes a run's warm-start activity: checkpoint
+// store counters plus the simulated-vs-skipped cycle ledger
+// (re-exported from the harness).
+type SnapshotReport = harness.SnapshotReport
+
+// ReproduceWithReport is Reproduce plus the warm-start summary of the
+// sweep (the zero report when opts enables no snapshots).
+func ReproduceWithReport(ctx context.Context, name string, opts ReproduceOptions, w io.Writer) (SnapshotReport, error) {
 	r := harness.NewRunner(opts)
+	err := reproduceOn(ctx, name, r, w)
+	return r.SnapshotReport(), err
+}
+
+// reproduceOn dispatches one named experiment onto an existing runner.
+func reproduceOn(ctx context.Context, name string, r *harness.Runner, w io.Writer) error {
 	if name == "all" {
 		for _, e := range experiments {
 			if err := e.run(ctx, r, w); err != nil {
