@@ -1,0 +1,508 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimsim/internal/serve"
+	"pimsim/pei"
+)
+
+func discardLogf(string, ...any) {}
+
+// fakeWorker is a scripted stand-in for a peiserved worker: it records
+// submissions and serves the status/cache endpoints the coordinator
+// polls, without running any simulation.
+type fakeWorker struct {
+	ts *httptest.Server
+
+	mu         sync.Mutex
+	submits    [][]byte
+	submitCode int // response to POST /v1/jobs (default 202)
+	jobState   string
+	status     serve.StatusReport
+	cached     map[string][]byte
+	seq        int
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{
+		submitCode: http.StatusAccepted,
+		jobState:   "queued",
+		status:     serve.StatusReport{QueueCapacity: 8, Workers: 2, Ready: true},
+		cached:     make(map[string][]byte),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		f.mu.Lock()
+		f.submits = append(f.submits, body)
+		f.seq++
+		id := fmt.Sprintf("j%06d", f.seq)
+		code, state := f.submitCode, f.jobState
+		f.mu.Unlock()
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(code)
+			fmt.Fprintln(w, `{"error":"queue full"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(map[string]any{"id": id, "state": state})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		state := f.jobState
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]any{
+			"id": r.PathValue("id"), "state": state,
+			"resultUrl": "/v1/jobs/" + r.PathValue("id") + "/result",
+		})
+	})
+	mux.HandleFunc("GET /internal/v1/status", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		st := f.status
+		f.mu.Unlock()
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /internal/v1/cache/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		out, ok := f.cached[r.PathValue("digest")]
+		f.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Write(out)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeWorker) submitCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.submits)
+}
+
+func (f *fakeWorker) set(fn func(*fakeWorker)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+// newTestCoordinator starts a coordinator whose timer-driven health
+// loop is effectively disabled (interval one hour): tests drive sweeps
+// deterministically by calling checkMembers directly.
+func newTestCoordinator(t *testing.T, opts Options) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = discardLogf
+	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = time.Hour
+	}
+	c := NewCoordinator(opts)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts
+}
+
+// registerWorker registers a fake worker and returns its assigned ID.
+func registerWorker(t *testing.T, coordURL string, f *fakeWorker) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"name": f.ts.URL})
+	resp, err := http.Post(coordURL+"/cluster/v1/register", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	var reply struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	return reply.ID
+}
+
+func testSpec(seed int64) pei.JobSpec {
+	return pei.JobSpec{Workload: "bfs", Size: "small", Scale: 4096, OpBudget: 2000, Seed: seed}
+}
+
+// submitSpec posts a spec to the coordinator and decodes the view.
+func submitSpec(t *testing.T, coordURL string, spec pei.JobSpec) (*http.Response, map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(coordURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view map[string]any
+	json.NewDecoder(resp.Body).Decode(&view)
+	return resp, view
+}
+
+// digestOf mirrors the coordinator's digest derivation for routing
+// assertions.
+func digestOf(t *testing.T, spec pei.JobSpec) string {
+	t.Helper()
+	norm, _, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := norm.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCoordinatorRegisterOwnerMembers covers the membership endpoints:
+// registration assigns stable IDs, the owner endpoint agrees with an
+// independently built ring, and deregistration moves the member to
+// draining and off the ring.
+func TestCoordinatorRegisterOwnerMembers(t *testing.T) {
+	_, ts := newTestCoordinator(t, Options{})
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	idA := registerWorker(t, ts.URL, a)
+	idB := registerWorker(t, ts.URL, b)
+	if idA == idB {
+		t.Fatalf("both workers got id %s", idA)
+	}
+	// Registration is idempotent: same name, same ID.
+	if again := registerWorker(t, ts.URL, a); again != idA {
+		t.Fatalf("re-register changed id %s -> %s", idA, again)
+	}
+
+	digest := digestOf(t, testSpec(1))
+	wantOwner, _ := NewRing([]string{a.ts.URL, b.ts.URL}).Owner(digest)
+	resp, err := http.Get(ts.URL + "/cluster/v1/owner?digest=" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owner struct{ ID, Name string }
+	json.NewDecoder(resp.Body).Decode(&owner)
+	resp.Body.Close()
+	if owner.Name != wantOwner {
+		t.Fatalf("owner endpoint says %q, ring says %q", owner.Name, wantOwner)
+	}
+
+	// Deregister the owner: the other worker now owns everything.
+	body, _ := json.Marshal(map[string]string{"name": wantOwner})
+	dresp, err := http.Post(ts.URL+"/cluster/v1/deregister", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	resp2, err := http.Get(ts.URL + "/cluster/v1/owner?digest=" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp2.Body).Decode(&owner)
+	resp2.Body.Close()
+	if owner.Name == wantOwner {
+		t.Fatal("draining member still owns its range")
+	}
+
+	mresp, err := http.Get(ts.URL + "/cluster/v1/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mb), `"draining"`) || !strings.Contains(string(mb), `"alive"`) {
+		t.Fatalf("members missing states:\n%s", mb)
+	}
+}
+
+// TestCoordinatorRoutesByDigestAffinity: a submission lands on the
+// digest's ring owner, gets a cluster ID, and the view's identity is
+// rewritten so the worker-local ID never leaks.
+func TestCoordinatorRoutesByDigestAffinity(t *testing.T) {
+	_, ts := newTestCoordinator(t, Options{})
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	registerWorker(t, ts.URL, a)
+	registerWorker(t, ts.URL, b)
+
+	spec := testSpec(1)
+	digest := digestOf(t, spec)
+	wantOwner, _ := NewRing([]string{a.ts.URL, b.ts.URL}).Owner(digest)
+	owner, other := a, b
+	if wantOwner == b.ts.URL {
+		owner, other = b, a
+	}
+
+	resp, view := submitSpec(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if view["id"] != "c000001" {
+		t.Fatalf("cluster id %v, want c000001", view["id"])
+	}
+	if owner.submitCount() != 1 || other.submitCount() != 0 {
+		t.Fatalf("routing split: owner %d submits, other %d", owner.submitCount(), other.submitCount())
+	}
+	// The forwarded body is the normalized spec: the worker must derive
+	// the identical digest.
+	owner.mu.Lock()
+	forwarded := owner.submits[0]
+	owner.mu.Unlock()
+	var fspec pei.JobSpec
+	if err := json.Unmarshal(forwarded, &fspec); err != nil {
+		t.Fatal(err)
+	}
+	if digestOf(t, fspec) != digest {
+		t.Fatal("forwarded spec digest differs from routing digest")
+	}
+
+	// Reads proxy to the owner with the ID rewritten back.
+	gresp, err := http.Get(ts.URL + "/v1/jobs/c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gview map[string]any
+	json.NewDecoder(gresp.Body).Decode(&gview)
+	gresp.Body.Close()
+	if gview["id"] != "c000001" {
+		t.Fatalf("proxied view id %v", gview["id"])
+	}
+	if ru, _ := gview["resultUrl"].(string); ru != "/v1/jobs/c000001/result" {
+		t.Fatalf("proxied resultUrl %q not rewritten", ru)
+	}
+}
+
+// TestCoordinatorSpillsOn429: when the owner's queue is full, the
+// submission spills to the ring successor instead of bouncing — and
+// when every worker is full, the 429 (with Retry-After) propagates.
+func TestCoordinatorSpillsOn429(t *testing.T) {
+	_, ts := newTestCoordinator(t, Options{})
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	registerWorker(t, ts.URL, a)
+	registerWorker(t, ts.URL, b)
+
+	spec := testSpec(1)
+	wantOwner, _ := NewRing([]string{a.ts.URL, b.ts.URL}).Owner(digestOf(t, spec))
+	owner, other := a, b
+	if wantOwner == b.ts.URL {
+		owner, other = b, a
+	}
+	owner.set(func(f *fakeWorker) { f.submitCode = http.StatusTooManyRequests })
+
+	resp, _ := submitSpec(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("spill submit status %d, want 202", resp.StatusCode)
+	}
+	if other.submitCount() != 1 {
+		t.Fatalf("successor got %d submits, want 1", other.submitCount())
+	}
+
+	other.set(func(f *fakeWorker) { f.submitCode = http.StatusTooManyRequests })
+	resp2, _ := submitSpec(t, ts.URL, spec)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("all-busy submit status %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("propagated 429 missing Retry-After")
+	}
+}
+
+// TestCoordinatorGlobalBackpressure: once a health sweep has learned
+// that every queue slot in the cluster is full, submissions are
+// rejected at the coordinator with a global Retry-After — no worker is
+// even asked.
+func TestCoordinatorGlobalBackpressure(t *testing.T) {
+	c, ts := newTestCoordinator(t, Options{})
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	full := serve.StatusReport{Queued: 8, QueueCapacity: 8, Workers: 2, Ready: true}
+	a.set(func(f *fakeWorker) { f.status = full })
+	b.set(func(f *fakeWorker) { f.status = full })
+	registerWorker(t, ts.URL, a)
+	registerWorker(t, ts.URL, b)
+	c.checkMembers()
+
+	resp, _ := submitSpec(t, ts.URL, testSpec(1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit status %d, want 429", resp.StatusCode)
+	}
+	// 1 + 16 queued / 2 workers = 9 seconds.
+	if got := resp.Header.Get("Retry-After"); got != "9" {
+		t.Fatalf("Retry-After %q, want 9", got)
+	}
+	if a.submitCount()+b.submitCount() != 0 {
+		t.Fatal("backpressured submit still reached a worker")
+	}
+
+	// Queues drain; the next sweep reopens the cluster.
+	a.set(func(f *fakeWorker) { f.status.Queued = 0 })
+	b.set(func(f *fakeWorker) { f.status.Queued = 0 })
+	c.checkMembers()
+	resp2, _ := submitSpec(t, ts.URL, testSpec(1))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain submit status %d, want 202", resp2.StatusCode)
+	}
+}
+
+// TestCoordinatorFailoverReroutes: after MaxFails failed health sweeps
+// the hosting worker is declared dead and its non-terminal job is
+// re-submitted to the ring successor; reads keep working through the
+// new host and the routing table records the reroute.
+func TestCoordinatorFailoverReroutes(t *testing.T) {
+	c, ts := newTestCoordinator(t, Options{MaxFails: 2})
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	registerWorker(t, ts.URL, a)
+	registerWorker(t, ts.URL, b)
+
+	spec := testSpec(1)
+	wantOwner, _ := NewRing([]string{a.ts.URL, b.ts.URL}).Owner(digestOf(t, spec))
+	owner, survivor := a, b
+	if wantOwner == b.ts.URL {
+		owner, survivor = b, a
+	}
+	resp, _ := submitSpec(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if owner.submitCount() != 1 {
+		t.Fatal("job did not land on the ring owner")
+	}
+
+	owner.ts.Close() // crash, not drain
+	survivor.set(func(f *fakeWorker) { f.jobState = "done" })
+	c.checkMembers()
+	if survivor.submitCount() != 0 {
+		t.Fatal("rerouted after only one failed sweep (MaxFails=2)")
+	}
+	c.checkMembers()
+	if survivor.submitCount() != 1 {
+		t.Fatalf("survivor got %d submits after death, want the rerouted job", survivor.submitCount())
+	}
+
+	gresp, err := http.Get(ts.URL + "/v1/jobs/c000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view map[string]any
+	json.NewDecoder(gresp.Body).Decode(&view)
+	gresp.Body.Close()
+	if view["id"] != "c000001" || view["state"] != "done" {
+		t.Fatalf("post-failover view %v", view)
+	}
+
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	if !strings.Contains(string(lb), `"rerouted": 1`) {
+		t.Fatalf("job list missing reroute record:\n%s", lb)
+	}
+	if got := c.met.get("jobs.rerouted"); got != 1 {
+		t.Fatalf("jobs.rerouted = %d, want 1", got)
+	}
+
+	// New submissions keep flowing to the survivor.
+	resp2, _ := submitSpec(t, ts.URL, testSpec(2))
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-failover submit status %d", resp2.StatusCode)
+	}
+}
+
+// TestCoordinatorPeerCacheProxy: a fill report makes the digest
+// fetchable through the coordinator from any node; a stale record (the
+// holder evicted the entry) is dropped on first miss.
+func TestCoordinatorPeerCacheProxy(t *testing.T) {
+	c, ts := newTestCoordinator(t, Options{})
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	registerWorker(t, ts.URL, a)
+	registerWorker(t, ts.URL, b)
+
+	a.set(func(f *fakeWorker) { f.cached["d1"] = []byte("result bytes\n") })
+	for _, fill := range []map[string]string{
+		{"digest": "d1", "name": a.ts.URL},
+		{"digest": "d2", "name": b.ts.URL}, // b does NOT actually hold d2
+	} {
+		body, _ := json.Marshal(fill)
+		resp, err := http.Post(ts.URL+"/cluster/v1/fills", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("fill status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/cluster/v1/cache/d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(got) != "result bytes\n" {
+		t.Fatalf("cache lookup: status %d body %q", resp.StatusCode, got)
+	}
+
+	// Stale fill: holder answers 404, the coordinator reports a miss and
+	// forgets the record.
+	resp2, err := http.Get(ts.URL + "/cluster/v1/cache/d2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("stale lookup status %d, want 404", resp2.StatusCode)
+	}
+	c.mu.Lock()
+	_, still := c.fills["d2"]
+	c.mu.Unlock()
+	if still {
+		t.Fatal("stale fill record not dropped")
+	}
+
+	// Unknown digest is a plain miss.
+	resp3, err := http.Get(ts.URL + "/cluster/v1/cache/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest status %d", resp3.StatusCode)
+	}
+}
+
+// TestRetryAfterHeuristics pins both Retry-After formulas.
+func TestRetryAfterHeuristics(t *testing.T) {
+	cases := []struct {
+		queued, alive, want int
+	}{
+		{0, 2, 1},
+		{16, 2, 9},
+		{1000, 2, 60}, // capped
+		{4, 0, 5},     // degenerate divisor clamps to 1
+	}
+	for _, c := range cases {
+		if got := globalRetryAfterSeconds(c.queued, c.alive); got != c.want {
+			t.Errorf("globalRetryAfterSeconds(%d, %d) = %d, want %d", c.queued, c.alive, got, c.want)
+		}
+	}
+}

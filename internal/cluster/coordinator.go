@@ -1,0 +1,541 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"pimsim/pei"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// HealthInterval is the cadence of the membership health loop
+	// (default 1s): each tick polls every non-dead member's
+	// /internal/v1/status for liveness and queue depth.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health poll (default 2s).
+	HealthTimeout time.Duration
+	// MaxFails is the number of consecutive failed health checks before
+	// a member is declared dead and its jobs re-route (default 3).
+	MaxFails int
+	// ForwardTimeout bounds one proxied request to a worker — submits,
+	// reads, cancels, peer-cache fetches; SSE streams are unbounded
+	// (default 15s).
+	ForwardTimeout time.Duration
+	// MaxFills bounds the digest→owner map (default 65536 entries);
+	// beyond it arbitrary entries are dropped — a dropped entry only
+	// costs a re-simulation, never correctness.
+	MaxFills int
+	// Logf receives one structured line per request and membership
+	// event (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = time.Second
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = 2 * time.Second
+	}
+	if o.MaxFails <= 0 {
+		o.MaxFails = 3
+	}
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 15 * time.Second
+	}
+	if o.MaxFills <= 0 {
+		o.MaxFills = 1 << 16
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// clusterJob is the coordinator's routing record for one accepted job:
+// enough to forward reads to wherever the job lives now and to re-submit
+// it if that worker dies. The job's actual state lives on the worker.
+type clusterJob struct {
+	ID     string
+	Digest string
+	Spec   []byte // normalized JobSpec JSON, re-submitted on failover
+
+	mu         sync.Mutex
+	memberName string // advertise URL currently hosting the job
+	memberID   string
+	localID    string // the worker's own job id
+	terminal   bool   // a terminal state was observed (stops failover)
+	rerouted   int    // failover re-submissions
+	failed     string // coordinator-synthesized failure (no member could take it)
+}
+
+// Coordinator is the cluster front end: one endpoint that routes jobs
+// to workers by digest affinity, proxies reads and SSE streams back,
+// fails over dead workers' hash ranges, and serves the peer cache map.
+// Create with NewCoordinator, expose via Handler, stop with Close.
+type Coordinator struct {
+	opts  Options
+	mux   *http.ServeMux
+	mem   *membership
+	met   *cmetrics
+	httpc   *http.Client // bounded, for forwards and peer fetches
+	healthc *http.Client // short-timeout, for health polls
+	sse     *http.Client // unbounded, for event streams
+
+	mu    sync.Mutex
+	jobs  map[string]*clusterJob
+	order []string          // job IDs in submission order
+	seq   int
+	fills map[string]string // digest -> member name holding the cached result
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its health loop.
+func NewCoordinator(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		mem:   newMembership(),
+		met:   newCMetrics(),
+		httpc:   &http.Client{Timeout: opts.ForwardTimeout},
+		healthc: &http.Client{Timeout: opts.HealthTimeout},
+		sse:     &http.Client{},
+		jobs:  make(map[string]*clusterJob),
+		fills: make(map[string]string),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	c.mux.HandleFunc("GET /v1/jobs", c.handleList)
+	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
+	c.mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	c.mux.HandleFunc("GET /v1/experiments", c.handleExperiments)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux.HandleFunc("GET /healthz", c.handleReady)
+	c.mux.HandleFunc("GET /healthz/live", c.handleLive)
+	c.mux.HandleFunc("GET /healthz/ready", c.handleReady)
+	c.mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
+	c.mux.HandleFunc("POST /cluster/v1/deregister", c.handleDeregister)
+	c.mux.HandleFunc("POST /cluster/v1/fills", c.handleFills)
+	c.mux.HandleFunc("GET /cluster/v1/cache/{digest}", c.handleCacheLookup)
+	c.mux.HandleFunc("GET /cluster/v1/owner", c.handleOwner)
+	c.mux.HandleFunc("GET /cluster/v1/members", c.handleMembers)
+	go c.healthLoop()
+	return c
+}
+
+// Handler returns the coordinator's HTTP handler wrapped in request
+// logging and the request counter.
+func (c *Coordinator) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		c.mux.ServeHTTP(rec, r)
+		c.met.add("http.requests", 1)
+		c.opts.Logf("http method=%s path=%s status=%d dur=%s",
+			r.Method, r.URL.Path, rec.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// Close stops the health loop. In-flight proxied requests finish under
+// the HTTP server's own shutdown.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}
+
+// --- submission and routing ---
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	var spec pei.JobSpec
+	if err == nil {
+		err = json.Unmarshal(body, &spec)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing job spec: %w", err))
+		return
+	}
+	norm, _, err := spec.Normalize()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	digest, err := norm.Digest()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Forward the normalized spec, so the worker derives the identical
+	// digest and the cluster-wide cache key is exactly this one.
+	specBytes, err := json.Marshal(norm)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Cluster-wide backpressure: when every queue slot in the cluster is
+	// full (per the last health poll), reject here instead of bouncing
+	// the request around the ring.
+	queued, capacity, alive := c.mem.depths()
+	if alive == 0 {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live workers registered"))
+		return
+	}
+	if capacity > 0 && queued >= capacity {
+		c.met.add("jobs.rejected", 1)
+		w.Header().Set("Retry-After", strconv.Itoa(globalRetryAfterSeconds(queued, alive)))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("cluster queues full (%d queued across %d workers)", queued, alive))
+		return
+	}
+
+	res, err := c.routeSpec(digest, specBytes)
+	if err != nil {
+		c.met.add("proxy.errors", 1)
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	if res.status == http.StatusTooManyRequests {
+		c.met.add("jobs.rejected", 1)
+		if res.retryAfter != "" {
+			w.Header().Set("Retry-After", res.retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.status)
+		w.Write(res.body)
+		return
+	}
+	if res.view == nil {
+		// Non-2xx pass-through (e.g. a validation disagreement).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(res.status)
+		w.Write(res.body)
+		return
+	}
+
+	localID, _ := res.view["id"].(string)
+	job := c.newJob(digest, specBytes, res.member, localID)
+	if terminalState(res.view) {
+		job.mu.Lock()
+		job.terminal = true
+		job.mu.Unlock()
+	}
+	c.met.add("jobs.routed", 1)
+	c.met.add("routed."+res.member.ID, 1)
+	c.opts.Logf("route job=%s digest=%.12s worker=%s local=%s status=%d",
+		job.ID, digest, res.member.ID, localID, res.status)
+	rewriteView(res.view, job.ID)
+	w.Header().Set("X-Peicluster-Member", res.member.ID)
+	writeJSON(w, res.status, res.view)
+}
+
+// newJob registers a routing record and assigns the cluster job ID.
+func (c *Coordinator) newJob(digest string, spec []byte, m member, localID string) *clusterJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	job := &clusterJob{
+		ID:         fmt.Sprintf("c%06d", c.seq),
+		Digest:     digest,
+		Spec:       spec,
+		memberName: m.Name,
+		memberID:   m.ID,
+		localID:    localID,
+	}
+	c.jobs[job.ID] = job
+	c.order = append(c.order, job.ID)
+	return job
+}
+
+// routeResult is one routing attempt's outcome.
+type routeResult struct {
+	member     member
+	status     int
+	view       map[string]any // decoded job view on 2xx, else nil
+	body       []byte
+	retryAfter string
+}
+
+// routeSpec walks the digest's successor list — owner first, ring order
+// after — forwarding the submission until a worker accepts it. A worker
+// whose queue is full (429) spills to the next successor: affinity is a
+// locality optimization, and correctness comes from content-addressed
+// caching, so serving from the "wrong" worker beats rejecting while
+// capacity remains. Returns an error only when no candidate answered.
+func (c *Coordinator) routeSpec(digest string, specBytes []byte) (routeResult, error) {
+	ring, _ := c.mem.snapshot()
+	candidates := ring.Successors(digest, ring.Len())
+	if len(candidates) == 0 {
+		return routeResult{}, fmt.Errorf("no live workers registered")
+	}
+	var last routeResult
+	sawBusy := false
+	for _, name := range candidates {
+		m, ok := c.mem.get(name)
+		if !ok || m.state != memberAlive {
+			continue
+		}
+		resp, err := c.httpc.Post(m.Name+"/v1/jobs", "application/json", bytes.NewReader(specBytes))
+		if err != nil {
+			c.met.add("proxy.errors", 1)
+			c.opts.Logf("route digest=%.12s worker=%s unreachable: %v", digest, m.ID, err)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		last = routeResult{member: m, status: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			sawBusy = true
+			continue // spill to the next successor
+		}
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			var view map[string]any
+			if err := json.Unmarshal(body, &view); err != nil {
+				return routeResult{}, fmt.Errorf("worker %s returned unparseable job view: %w", m.ID, err)
+			}
+			last.view = view
+		}
+		return last, nil
+	}
+	if sawBusy {
+		return last, nil // every reachable worker was full: propagate the 429
+	}
+	return routeResult{}, fmt.Errorf("no reachable worker for digest %.12s", digest)
+}
+
+// globalRetryAfterSeconds mirrors the worker-side heuristic at cluster
+// scope: a second of headroom plus the global backlog amortized over
+// the live workers.
+func globalRetryAfterSeconds(queued, alive int) int {
+	if alive < 1 {
+		alive = 1
+	}
+	sec := 1 + queued/alive
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// --- cluster-internal endpoints (workers talk to these) ---
+
+// registerRequest is the worker→coordinator registration/heartbeat body.
+type registerRequest struct {
+	Name string `json:"name"` // the worker's advertise URL
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing registration: %w", err))
+		return
+	}
+	u, err := url.Parse(req.Name)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("advertise URL %q must be absolute http(s)", req.Name))
+		return
+	}
+	m := c.mem.register(req.Name, time.Now())
+	c.met.add("register", 1)
+	c.opts.Logf("register worker=%s name=%s", m.ID, m.Name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":               m.ID,
+		"healthIntervalMs": c.opts.HealthInterval.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing deregistration: %w", err))
+		return
+	}
+	m := c.mem.setState(req.Name, memberDraining)
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown member %q", req.Name))
+		return
+	}
+	c.met.add("deregister", 1)
+	c.opts.Logf("deregister worker=%s name=%s (draining)", m.ID, m.Name)
+	writeJSON(w, http.StatusOK, map[string]any{"id": m.ID, "state": string(memberDraining)})
+}
+
+// fillRequest announces that a worker holds a digest's result.
+type fillRequest struct {
+	Digest string `json:"digest"`
+	Name   string `json:"name"`
+}
+
+func (c *Coordinator) handleFills(w http.ResponseWriter, r *http.Request) {
+	var req fillRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("parsing fill report: %w", err))
+		return
+	}
+	m, ok := c.mem.get(req.Name)
+	if !ok || m.state == memberDead {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown or dead member %q", req.Name))
+		return
+	}
+	c.mu.Lock()
+	if len(c.fills) >= c.opts.MaxFills {
+		// Bound the map: drop one arbitrary entry. The fill map is an
+		// optimization — losing an entry re-simulates at most once.
+		for k := range c.fills {
+			delete(c.fills, k)
+			break
+		}
+	}
+	c.fills[req.Digest] = req.Name
+	c.mu.Unlock()
+	c.met.add("fills", 1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCacheLookup is the peer cache read path: the coordinator maps
+// digest → holding member and proxies the bytes, so workers only ever
+// talk to the coordinator. A stale map entry (evicted result, dead
+// member) is dropped and reported as a miss.
+func (c *Coordinator) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	c.mu.Lock()
+	name, ok := c.fills[digest]
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no known holder for digest %.12s", digest))
+		return
+	}
+	m, found := c.mem.get(name)
+	if !found || m.state == memberDead {
+		c.dropFill(digest, name)
+		httpError(w, http.StatusNotFound, fmt.Errorf("holder of digest %.12s is gone", digest))
+		return
+	}
+	resp, err := c.httpc.Get(m.Name + "/internal/v1/cache/" + digest)
+	if err != nil {
+		c.met.add("proxy.errors", 1)
+		httpError(w, http.StatusNotFound, fmt.Errorf("holder unreachable: %v", err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.dropFill(digest, name)
+		httpError(w, http.StatusNotFound, fmt.Errorf("holder no longer caches digest %.12s", digest))
+		return
+	}
+	c.met.add("peer_cache.served", 1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Peicluster-Member", m.ID)
+	io.Copy(w, resp.Body)
+}
+
+// dropFill removes a digest→member entry if it still points at name.
+func (c *Coordinator) dropFill(digest, name string) {
+	c.mu.Lock()
+	if c.fills[digest] == name {
+		delete(c.fills, digest)
+	}
+	c.mu.Unlock()
+}
+
+// handleOwner reports the ring owner for a digest — routing
+// introspection for tests, ops, and the README walkthrough.
+func (c *Coordinator) handleOwner(w http.ResponseWriter, r *http.Request) {
+	digest := r.URL.Query().Get("digest")
+	if digest == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing digest query parameter"))
+		return
+	}
+	ring, _ := c.mem.snapshot()
+	name, ok := ring.Owner(digest)
+	if !ok {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live workers registered"))
+		return
+	}
+	m, _ := c.mem.get(name)
+	writeJSON(w, http.StatusOK, map[string]any{"id": m.ID, "name": m.Name})
+}
+
+func (c *Coordinator) handleMembers(w http.ResponseWriter, r *http.Request) {
+	_, members := c.mem.snapshot()
+	views := make([]map[string]any, 0, len(members))
+	for _, m := range members {
+		views = append(views, map[string]any{
+			"id":       m.ID,
+			"name":     m.Name,
+			"state":    string(m.state),
+			"queued":   m.queued,
+			"running":  m.running,
+			"capacity": m.capacity,
+			"ready":    m.ready,
+			"fails":    m.fails,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"members": views})
+}
+
+// --- health endpoints and metrics ---
+
+func (c *Coordinator) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReady: the coordinator is ready once it can route somewhere.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	if _, _, alive := c.mem.depths(); alive == 0 {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live workers registered"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, members := c.mem.snapshot()
+	var alive, draining, dead, queued, capacity int64
+	for _, m := range members {
+		switch m.state {
+		case memberAlive:
+			alive++
+			queued += int64(m.queued)
+			capacity += int64(m.capacity)
+		case memberDraining:
+			draining++
+		case memberDead:
+			dead++
+		}
+	}
+	c.mu.Lock()
+	tracked, fills := int64(len(c.jobs)), int64(len(c.fills))
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.met.write(w, map[string]int64{
+		"members.alive":    alive,
+		"members.draining": draining,
+		"members.dead":     dead,
+		"queue.global":     queued,
+		"queue.capacity":   capacity,
+		"jobs.tracked":     tracked,
+		"fills.entries":    fills,
+	})
+}

@@ -1,0 +1,215 @@
+// The membership health loop and failover path: the coordinator polls
+// every non-dead member's /internal/v1/status each HealthInterval,
+// feeding queue depths into the global backpressure decision; MaxFails
+// consecutive failures declare a member dead, drop its peer-cache fill
+// records, and re-route its non-terminal jobs to their ring successors
+// — the consistent-hash analogue of the paper's locality monitor
+// redirecting PEIs when their operand's home changes.
+
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"pimsim/internal/stats"
+)
+
+// statusReport mirrors serve.StatusReport's wire shape. It is decoded
+// structurally rather than by importing internal/serve, so the cluster
+// control plane depends only on the HTTP protocol — serve's internal
+// tests can then import this package (for the 3-node e2e) without a
+// cycle.
+type statusReport struct {
+	Queued        int  `json:"queued"`
+	Running       int  `json:"running"`
+	QueueCapacity int  `json:"queueCapacity"`
+	Workers       int  `json:"workers"`
+	Draining      bool `json:"draining"`
+	Ready         bool `json:"ready"`
+}
+
+func (c *Coordinator) healthLoop() {
+	defer close(c.done)
+	t := time.NewTicker(c.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		c.checkMembers()
+	}
+}
+
+// checkMembers runs one health sweep.
+func (c *Coordinator) checkMembers() {
+	_, members := c.mem.snapshot()
+	for _, m := range members {
+		if m.state == memberDead {
+			continue
+		}
+		st, err := c.fetchStatus(m.Name)
+		if err != nil {
+			c.met.add("health.fails", 1)
+			if c.mem.recordFailure(m.Name, c.opts.MaxFails) {
+				c.onMemberDead(m)
+			}
+			continue
+		}
+		c.mem.recordStatus(m.Name, st.Queued, st.Running, st.QueueCapacity, st.Ready, st.Draining, time.Now())
+		if st.Draining && m.state == memberAlive {
+			c.opts.Logf("health worker=%s draining: removed from ring, reads continue", m.ID)
+		}
+	}
+}
+
+// fetchStatus polls one worker's status endpoint.
+func (c *Coordinator) fetchStatus(baseURL string) (statusReport, error) {
+	resp, err := c.healthc.Get(baseURL + "/internal/v1/status")
+	if err != nil {
+		return statusReport{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return statusReport{}, fmt.Errorf("status endpoint returned %d", resp.StatusCode)
+	}
+	var st statusReport
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st); err != nil {
+		return statusReport{}, err
+	}
+	return st, nil
+}
+
+// onMemberDead handles the alive/draining → dead edge: the ring has
+// already been rebuilt without the member (its hash range now belongs
+// to its successors), so what remains is dropping its peer-cache fill
+// records and re-submitting its non-terminal jobs where the ring now
+// points. Results it computed but never reported are simply recomputed
+// — content addressing makes re-execution safe.
+func (c *Coordinator) onMemberDead(m member) {
+	c.met.add("members.lost", 1)
+	c.opts.Logf("health worker=%s name=%s dead after %d failed checks; failing over", m.ID, m.Name, c.opts.MaxFails)
+
+	c.mu.Lock()
+	for digest, holder := range c.fills {
+		if holder == m.Name {
+			delete(c.fills, digest)
+		}
+	}
+	var orphans []*clusterJob
+	for _, id := range c.order {
+		job := c.jobs[id]
+		job.mu.Lock()
+		if job.memberName == m.Name && !job.terminal && job.failed == "" {
+			orphans = append(orphans, job)
+		}
+		job.mu.Unlock()
+	}
+	c.mu.Unlock()
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].ID < orphans[j].ID })
+
+	for _, job := range orphans {
+		c.rerouteJob(job, m)
+	}
+}
+
+// rerouteJob re-submits one orphaned job to the digest's new ring
+// owner. A duplicate execution can only produce the identical result
+// (and usually doesn't run at all: if any surviving worker holds the
+// digest's result, the re-submission completes as a cache or peer hit).
+func (c *Coordinator) rerouteJob(job *clusterJob, dead member) {
+	res, err := c.routeSpec(job.Digest, job.Spec)
+	if err != nil || res.view == nil {
+		detail := "no worker could take it over"
+		if err != nil {
+			detail = err.Error()
+		} else if res.status == http.StatusTooManyRequests {
+			detail = "all surviving workers are at capacity"
+		}
+		job.mu.Lock()
+		job.failed = fmt.Sprintf("worker %s died while hosting this job; %s", dead.ID, detail)
+		job.mu.Unlock()
+		c.met.add("jobs.orphaned", 1)
+		c.opts.Logf("failover job=%s digest=%.12s orphaned: %s", job.ID, job.Digest, detail)
+		return
+	}
+	localID, _ := res.view["id"].(string)
+	job.mu.Lock()
+	job.memberName = res.member.Name
+	job.memberID = res.member.ID
+	job.localID = localID
+	job.rerouted++
+	if terminalState(res.view) {
+		job.terminal = true
+	}
+	job.mu.Unlock()
+	c.met.add("jobs.rerouted", 1)
+	c.opts.Logf("failover job=%s digest=%.12s rerouted %s -> %s (local=%s status=%d)",
+		job.ID, job.Digest, dead.ID, res.member.ID, localID, res.status)
+}
+
+// --- coordinator metrics ---
+
+// cmetrics is the coordinator's counter registry, exported at /metrics
+// with a "peicluster_" prefix.
+//
+// Counter names:
+//
+//	http.requests      HTTP requests served
+//	jobs.routed        submissions accepted and routed to a worker
+//	jobs.rejected      submissions bounced with 429 (cluster-wide or all-busy)
+//	jobs.rerouted      jobs re-submitted to a successor after a worker died
+//	jobs.orphaned      jobs no surviving worker could take over
+//	routed.<id>        per-worker routing counts (digest-affinity visibility)
+//	register           registration/heartbeat upserts
+//	deregister         graceful deregistrations
+//	fills              peer-cache fill reports accepted
+//	peer_cache.served  peer-cache lookups answered with result bytes
+//	health.fails       failed health polls
+//	members.lost       members declared dead
+//	proxy.errors       forwarding failures (transport-level)
+type cmetrics struct {
+	mu  sync.Mutex
+	reg *stats.Registry
+}
+
+func newCMetrics() *cmetrics {
+	return &cmetrics{reg: stats.NewRegistry()}
+}
+
+func (m *cmetrics) add(name string, delta int64) {
+	m.mu.Lock()
+	m.reg.Add(name, delta)
+	m.mu.Unlock()
+}
+
+func (m *cmetrics) get(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Get(name)
+}
+
+// write renders the Prometheus exposition after merging point-in-time
+// gauges in sorted key order (interning order must not depend on map
+// iteration; see serve.metrics.write for the same discipline).
+func (m *cmetrics) write(w io.Writer, gauges map[string]int64) {
+	names := make([]string, 0, len(gauges))
+	for n := range gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	m.mu.Lock()
+	for _, n := range names {
+		m.reg.Set(n, gauges[n])
+	}
+	snap := m.reg.Snapshot()
+	m.mu.Unlock()
+	stats.WritePrometheus(w, "peicluster_", snap)
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// memberState is a worker's lifecycle as the coordinator sees it.
+type memberState string
+
+const (
+	// memberAlive: registered and answering health checks; on the ring.
+	memberAlive memberState = "alive"
+	// memberDraining: deregistered (graceful shutdown) or reporting
+	// draining=true; off the ring so no new work routes to it, but still
+	// answering reads for the jobs it already holds.
+	memberDraining memberState = "draining"
+	// memberDead: failed MaxFails consecutive health checks; off the
+	// ring, its fill records dropped and its non-terminal jobs re-routed
+	// to ring successors.
+	memberDead memberState = "dead"
+)
+
+// member is one registered worker.
+type member struct {
+	ID   string // stable coordinator-assigned id ("w1", "w2", ...)
+	Name string // the worker's advertise URL: its ring identity and base address
+
+	state    memberState
+	fails    int       // consecutive failed health checks
+	lastSeen time.Time // last successful register or status poll
+
+	// Last polled /internal/v1/status snapshot, feeding the cluster-wide
+	// backpressure decision.
+	queued   int
+	running  int
+	capacity int
+	ready    bool
+}
+
+// membership is the coordinator's member table plus the ring derived
+// from it. The ring is rebuilt (immutably swapped) on every state
+// change, so routing reads never block on membership churn.
+type membership struct {
+	mu      sync.Mutex
+	members map[string]*member // by Name (advertise URL)
+	ring    *Ring              // over alive member names
+	seq     int
+}
+
+func newMembership() *membership {
+	return &membership{members: make(map[string]*member), ring: NewRing(nil)}
+}
+
+// register upserts a member by advertise URL and returns it. A dead or
+// draining member that registers again is revived: registration is the
+// worker's heartbeat, so a restarted worker rejoins the ring with its
+// old identity (and therefore its old hash range).
+func (ms *membership) register(name string, now time.Time) *member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[name]
+	if !ok {
+		ms.seq++
+		m = &member{ID: memberID(ms.seq), Name: name}
+		ms.members[name] = m
+	}
+	revived := m.state != memberAlive
+	m.state = memberAlive
+	m.fails = 0
+	m.lastSeen = now
+	if !ok || revived {
+		ms.rebuildLocked()
+	}
+	return m
+}
+
+func memberID(seq int) string {
+	return "w" + strconv.Itoa(seq)
+}
+
+// setState transitions a member (by name) and rebuilds the ring when
+// its routability changed. Returns the member, or nil if unknown.
+func (ms *membership) setState(name string, state memberState) *member {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[name]
+	if !ok {
+		return nil
+	}
+	if m.state != state {
+		m.state = state
+		ms.rebuildLocked()
+	}
+	return m
+}
+
+// rebuildLocked recomputes the ring over alive members (ms.mu held).
+func (ms *membership) rebuildLocked() {
+	names := make([]string, 0, len(ms.members))
+	for name, m := range ms.members {
+		if m.state == memberAlive {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ms.ring = NewRing(names)
+}
+
+// snapshot returns the current ring and a copy of every member, for
+// routing and reporting without holding the lock.
+func (ms *membership) snapshot() (*Ring, []member) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	out := make([]member, 0, len(ms.members))
+	for _, m := range ms.members {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return ms.ring, out
+}
+
+// get returns a copy of the named member.
+func (ms *membership) get(name string) (member, bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[name]
+	if !ok {
+		return member{}, false
+	}
+	return *m, true
+}
+
+// recordStatus stores a successful health poll: depth gauges refresh,
+// the failure streak resets, and a worker reporting draining moves off
+// the ring.
+func (ms *membership) recordStatus(name string, queued, running, capacity int, ready, draining bool, now time.Time) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[name]
+	if !ok {
+		return
+	}
+	m.fails = 0
+	m.lastSeen = now
+	m.queued, m.running, m.capacity, m.ready = queued, running, capacity, ready
+	if draining && m.state == memberAlive {
+		m.state = memberDraining
+		ms.rebuildLocked()
+	}
+}
+
+// recordFailure counts a failed health check; after maxFails in a row
+// the member is marked dead and dropped from the ring. Returns true on
+// the alive/draining → dead edge (the caller then re-routes its jobs).
+func (ms *membership) recordFailure(name string, maxFails int) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	m, ok := ms.members[name]
+	if !ok || m.state == memberDead {
+		return false
+	}
+	m.fails++
+	if m.fails < maxFails {
+		return false
+	}
+	m.state = memberDead
+	ms.rebuildLocked()
+	return true
+}
+
+// depths sums queue load over routable (alive) members for the
+// cluster-wide backpressure decision.
+func (ms *membership) depths() (queued, capacity, alive int) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for _, m := range ms.members {
+		if m.state != memberAlive {
+			continue
+		}
+		alive++
+		queued += m.queued
+		capacity += m.capacity
+	}
+	return queued, capacity, alive
+}

@@ -1,0 +1,311 @@
+// Read-side proxying: the coordinator forwards job reads, cancels, and
+// SSE streams to whichever worker currently hosts the job, rewriting
+// worker-local job IDs to cluster IDs so clients see one coherent
+// endpoint regardless of routing and failover.
+
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// lookup resolves a cluster job ID, writing a 404 on miss.
+func (c *Coordinator) lookup(w http.ResponseWriter, r *http.Request) *clusterJob {
+	c.mu.Lock()
+	job, ok := c.jobs[r.PathValue("id")]
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return nil
+	}
+	return job
+}
+
+// route returns the job's current host and local ID. ok is false when
+// the job is coordinator-failed or its member is gone; the caller has
+// then already been answered.
+func (c *Coordinator) route(w http.ResponseWriter, job *clusterJob) (m member, localID string, ok bool) {
+	job.mu.Lock()
+	name, localID, failed := job.memberName, job.localID, job.failed
+	job.mu.Unlock()
+	if failed != "" {
+		// The hosting worker died and no member could take the job over:
+		// answer with a synthesized terminal view instead of a dead proxy.
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":     job.ID,
+			"state":  "failed",
+			"digest": job.Digest,
+			"error":  failed,
+		})
+		return member{}, "", false
+	}
+	m, found := c.mem.get(name)
+	if !found || m.state == memberDead {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("worker hosting job %s is unavailable", job.ID))
+		return member{}, "", false
+	}
+	return m, localID, true
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	job := c.lookup(w, r)
+	if job == nil {
+		return
+	}
+	m, localID, ok := c.route(w, job)
+	if !ok {
+		return
+	}
+	resp, err := c.httpc.Get(m.Name + "/v1/jobs/" + localID)
+	if err != nil {
+		c.met.add("proxy.errors", 1)
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	var view map[string]any
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&view); err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("decoding worker response: %w", err))
+		return
+	}
+	if resp.StatusCode == http.StatusOK && terminalState(view) {
+		job.mu.Lock()
+		job.terminal = true
+		job.mu.Unlock()
+	}
+	rewriteView(view, job.ID)
+	w.Header().Set("X-Peicluster-Member", m.ID)
+	writeJSON(w, resp.StatusCode, view)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	job := c.lookup(w, r)
+	if job == nil {
+		return
+	}
+	m, localID, ok := c.route(w, job)
+	if !ok {
+		return
+	}
+	resp, err := c.httpc.Get(m.Name + "/v1/jobs/" + localID + "/result")
+	if err != nil {
+		c.met.add("proxy.errors", 1)
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Peicluster-Member", m.ID)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := c.lookup(w, r)
+	if job == nil {
+		return
+	}
+	m, localID, ok := c.route(w, job)
+	if !ok {
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, m.Name+"/v1/jobs/"+localID, nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		c.met.add("proxy.errors", 1)
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	var view map[string]any
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&view); err != nil {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("decoding worker response: %w", err))
+		return
+	}
+	rewriteView(view, job.ID)
+	w.Header().Set("X-Peicluster-Member", m.ID)
+	writeJSON(w, resp.StatusCode, view)
+}
+
+// handleEvents proxies the worker's SSE stream, rewriting worker-local
+// job IDs in event payloads to the cluster ID and flushing per event so
+// progress stays live through the extra hop. If the worker dies
+// mid-stream the stream ends; a reconnecting client is forwarded to
+// wherever failover moved the job.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := c.lookup(w, r)
+	if job == nil {
+		return
+	}
+	m, localID, ok := c.route(w, job)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, m.Name+"/v1/jobs/"+localID+"/events", nil)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp, err := c.sse.Do(req)
+	if err != nil {
+		c.met.add("proxy.errors", 1)
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body)
+		return
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Peicluster-Member", m.ID)
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	idFrom, idTo := `"id":"`+localID+`"`, `"id":"`+job.ID+`"`
+	urlFrom, urlTo := "/v1/jobs/"+localID+"/", "/v1/jobs/"+job.ID+"/"
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data:") {
+			line = strings.ReplaceAll(line, idFrom, idTo)
+			line = strings.ReplaceAll(line, urlFrom, urlTo)
+		}
+		fmt.Fprintln(w, line)
+		if line == "" {
+			flusher.Flush() // blank line = event boundary
+		}
+	}
+	flusher.Flush()
+}
+
+// handleList reports the coordinator's routing records in submission
+// order: which worker hosts each accepted job and where failover moved
+// it. Authoritative job state stays with the workers; query a job by ID
+// for its live view.
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	jobs := make([]*clusterJob, 0, len(c.order))
+	for _, id := range c.order {
+		jobs = append(jobs, c.jobs[id])
+	}
+	c.mu.Unlock()
+	views := make([]map[string]any, 0, len(jobs))
+	for _, j := range jobs {
+		j.mu.Lock()
+		v := map[string]any{
+			"id":          j.ID,
+			"digest":      j.Digest,
+			"worker":      j.memberID,
+			"workerJobId": j.localID,
+			"terminal":    j.terminal,
+		}
+		if j.rerouted > 0 {
+			v["rerouted"] = j.rerouted
+		}
+		if j.failed != "" {
+			v["error"] = j.failed
+		}
+		j.mu.Unlock()
+		views = append(views, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// handleExperiments forwards discovery to any live worker.
+func (c *Coordinator) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	_, members := c.mem.snapshot()
+	for _, m := range members {
+		if m.state != memberAlive {
+			continue
+		}
+		resp, err := c.httpc.Get(m.Name + "/v1/experiments")
+		if err != nil {
+			c.met.add("proxy.errors", 1)
+			continue
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live workers registered"))
+}
+
+// --- shared HTTP helpers ---
+
+// terminalState reports whether a decoded job view is done/failed/
+// cancelled (mirrors serve.JobState.terminal without importing its
+// internals).
+func terminalState(view map[string]any) bool {
+	switch view["state"] {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// rewriteView replaces the worker-local job identity in a decoded view
+// with the cluster one.
+func rewriteView(view map[string]any, clusterID string) {
+	view["id"] = clusterID
+	if ru, ok := view["resultUrl"].(string); ok && ru != "" {
+		view["resultUrl"] = "/v1/jobs/" + clusterID + "/result"
+	}
+}
+
+// statusRecorder captures the response status for the request log;
+// Flush is forwarded so proxied SSE streams work through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAssignment pins the deterministic-routing
+// guarantee: ownership is a pure function of the member-name set, so
+// two independently built rings agree on every key, and the pinned
+// assignments below only change if the hash function does (which would
+// break rolling upgrades and must be deliberate).
+func TestRingDeterministicAssignment(t *testing.T) {
+	members := []string{"http://a:9001", "http://b:9002", "http://c:9003"}
+	r1, r2 := NewRing(members), NewRing(members)
+	if r1.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r1.Len())
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		o1, ok1 := r1.Owner(key)
+		o2, ok2 := r2.Owner(key)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("key %q: owners diverge (%q vs %q)", key, o1, o2)
+		}
+	}
+	// Pinned spot checks: SHA-256 placement must not drift across
+	// releases.
+	pinned := map[string]string{
+		"digest-0": "http://a:9001",
+		"digest-1": "http://a:9001",
+		"digest-3": "http://c:9003",
+	}
+	for key, want := range pinned {
+		if got, _ := r1.Owner(key); got != want {
+			t.Errorf("Owner(%q) = %q, want pinned %q", key, got, want)
+		}
+	}
+}
+
+// TestRingSuccessors: the successor list starts at the owner, contains
+// each member exactly once, and never exceeds the membership.
+func TestRingSuccessors(t *testing.T) {
+	members := []string{"http://a:9001", "http://b:9002", "http://c:9003"}
+	r := NewRing(members)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		succ := r.Successors(key, len(members))
+		if len(succ) != len(members) {
+			t.Fatalf("key %q: %d successors, want %d", key, len(succ), len(members))
+		}
+		owner, _ := r.Owner(key)
+		if succ[0] != owner {
+			t.Fatalf("key %q: successors[0] = %q, owner = %q", key, succ[0], owner)
+		}
+		seen := make(map[string]bool)
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate successor %q", key, s)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Successors("k", 10); len(got) != 3 {
+		t.Fatalf("asking for more successors than members returned %d", len(got))
+	}
+	if got := NewRing(nil).Successors("k", 3); got != nil {
+		t.Fatalf("empty ring returned successors %v", got)
+	}
+}
+
+// TestRingMinimalRebalance is the failover property the whole design
+// leans on: removing one member moves only the keys it owned — every
+// key owned by a survivor keeps its owner, so a worker crash does not
+// reshuffle the other workers' cache locality.
+func TestRingMinimalRebalance(t *testing.T) {
+	members := []string{"http://a:9001", "http://b:9002", "http://c:9003", "http://d:9004"}
+	full := NewRing(members)
+	without := NewRing(members[:3]) // drop d
+
+	const keys = 1000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("digest-%d", i)
+		before, _ := full.Owner(key)
+		after, _ := without.Owner(key)
+		if before == members[3] {
+			moved++
+			if after == members[3] {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved %q -> %q although its owner survived", key, before, after)
+		}
+	}
+	// d owned roughly a quarter of the keyspace; any balance wildly off
+	// that means the virtual-point spread broke.
+	if moved < keys/8 || moved > keys/2 {
+		t.Fatalf("removed member owned %d/%d keys; expected near %d", moved, keys, keys/4)
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if _, ok := NewRing(nil).Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	solo := NewRing([]string{"http://only:9001"})
+	for i := 0; i < 10; i++ {
+		if owner, ok := solo.Owner(fmt.Sprintf("k%d", i)); !ok || owner != "http://only:9001" {
+			t.Fatalf("single-member ring returned %q, %v", owner, ok)
+		}
+	}
+}

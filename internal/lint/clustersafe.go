@@ -1,0 +1,55 @@
+// The clustersafe analyzer: internal/cluster is control plane, not
+// simulator. The coordinator routes job digests to workers and proxies
+// results; it must never reach into the simulation layers directly —
+// all simulation happens on workers behind the serving API, so the
+// cluster layer stays deployable (and testable) without dragging the
+// event kernel's determinism perimeter along. The analyzer enforces the
+// boundary at the import graph: internal/cluster may not import
+// internal/sim or internal/machine (directly or any subpackage).
+
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// clusterForbidden lists the module packages the cluster control plane
+// must not import: the event kernel and the machine layer it drives.
+// internal/serve and pei are deliberately allowed — they are the
+// sanctioned API surface workers expose.
+var clusterForbidden = []string{
+	"pimsim/internal/sim",
+	"pimsim/internal/machine",
+}
+
+// ClusterSafe forbids simulator imports in the cluster control plane.
+var ClusterSafe = &Analyzer{
+	Name: "clustersafe",
+	Doc: "the cluster control plane (coordinator, membership, routing, " +
+		"peer-cache proxy) must not import internal/sim or " +
+		"internal/machine: simulation happens only on workers behind the " +
+		"serving API, keeping routing logic independent of the event " +
+		"kernel's determinism perimeter",
+	Packages: []string{"internal/cluster"},
+	Run:      runClusterSafe,
+}
+
+func runClusterSafe(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, forbidden := range clusterForbidden {
+				if path == forbidden || strings.HasPrefix(path, forbidden+"/") {
+					pass.Reportf(imp.Pos(),
+						"import %q in cluster control-plane code: the coordinator routes and proxies jobs but never simulates; simulation stays on workers behind the serving API",
+						path)
+				}
+			}
+		}
+	}
+	return nil
+}

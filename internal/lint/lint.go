@@ -1,9 +1,9 @@
-// Package lint is the project's static-analysis suite: five analyzers
+// Package lint is the project's static-analysis suite: six analyzers
 // that turn the simulator's determinism and hot-path invariants (byte-
 // identical tables at any parallelism, zero-allocation event kernel,
-// context-first public entry points, single-threaded partition code)
-// into machine-checked law, plus the
-// waiver directive that documents every deliberate exception.
+// context-first public entry points, single-threaded partition code,
+// a simulator-free cluster control plane) into machine-checked law,
+// plus the waiver directive that documents every deliberate exception.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis
 // API shape — Analyzer, Pass, Diagnostic, and an analysistest-style
@@ -214,7 +214,7 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// Analyzers returns the full suite in a stable order: the five
+// Analyzers returns the full suite in a stable order: the six
 // invariant analyzers plus the waiver validator.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -223,6 +223,7 @@ func Analyzers() []*Analyzer {
 		CtxFirst,
 		HotAlloc,
 		PartSafe,
+		ClusterSafe,
 		Waiver,
 	}
 }
@@ -237,5 +238,5 @@ const waiverAnalyzerName = "waiver"
 // omitted — and not referenced via Analyzers() to avoid an
 // initialization cycle back into the Waiver variable).
 func analyzerNames() []string {
-	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name, PartSafe.Name}
+	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name, PartSafe.Name, ClusterSafe.Name}
 }

@@ -14,6 +14,7 @@ func TestStatsHandle(t *testing.T) { AnalyzerTest(t, StatsHandle, "statshandle")
 func TestCtxFirst(t *testing.T)    { AnalyzerTest(t, CtxFirst, "ctxfirst") }
 func TestHotAlloc(t *testing.T)    { AnalyzerTest(t, HotAlloc, "hotalloc") }
 func TestPartSafe(t *testing.T)    { AnalyzerTest(t, PartSafe, "partsafe") }
+func TestClusterSafe(t *testing.T) { AnalyzerTest(t, ClusterSafe, "clustersafe") }
 
 // TestWaiverValidation covers the waiver mechanism itself: a directive
 // with a typo'd analyzer name, a missing reason, or no arguments at all
@@ -79,8 +80,12 @@ func TestAnalyzerScope(t *testing.T) {
 		{PartSafe, "internal/hmc", true},
 		{PartSafe, "internal/machine", true},
 		{PartSafe, "internal/workloads", true},
-		{PartSafe, "internal/sim", false},   // the sanctioned home for concurrency
-		{PartSafe, "internal/serve", false}, // concurrent by design, outside the simulator
+		{PartSafe, "internal/sim", false},     // the sanctioned home for concurrency
+		{PartSafe, "internal/serve", false},   // concurrent by design, outside the simulator
+		{PartSafe, "internal/cluster", false}, // control plane, free to use channels/sync
+		{ClusterSafe, "internal/cluster", true},
+		{ClusterSafe, "internal/serve", false}, // serve legitimately imports the simulator
+		{ClusterSafe, "internal/sim", false},
 		{Waiver, "internal/graph", true},    // waiver validates everywhere
 		{Waiver, "cmd/peilint", true},
 	}

@@ -1,0 +1,26 @@
+// Seeded violations and accepted patterns for the clustersafe analyzer.
+package clustersafe
+
+import (
+	"sort"
+
+	_ "pimsim/internal/machine" // want `import "pimsim/internal/machine" in cluster control-plane code`
+	_ "pimsim/internal/sim"     // want `import "pimsim/internal/sim" in cluster control-plane code`
+	"pimsim/internal/stats"     // serving-layer dependencies are allowed
+)
+
+// Router stands in for coordinator routing state: plain data plus
+// metrics, no simulator types.
+type Router struct {
+	members []string
+	reg     *stats.Registry
+}
+
+// Pick is ordinary control-plane code: accepted.
+func (r *Router) Pick() string {
+	sort.Strings(r.members)
+	if len(r.members) == 0 {
+		return ""
+	}
+	return r.members[0]
+}

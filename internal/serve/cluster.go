@@ -1,0 +1,140 @@
+// The server's cluster-facing surface: the PeerCache hook a worker uses
+// to consult the rest of the cluster before simulating, the liveness/
+// readiness split the coordinator's health loop gates on, and the
+// internal endpoints (/internal/v1/status, /internal/v1/cache/{digest})
+// the coordinator polls and proxies. internal/cluster implements
+// PeerCache and consumes StatusReport; this package stays importable
+// without it.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// PeerCache lets a worker treat the whole cluster's result caches as
+// one: a cache hit anywhere is a hit here. cluster.Client implements it
+// against the coordinator's digest→owner map.
+type PeerCache interface {
+	// Lookup fetches the rendered result for digest from whichever peer
+	// holds it, bounded by ctx. A miss (or any error) returns ok=false;
+	// the worker then simulates as usual.
+	Lookup(ctx context.Context, digest string) (out []byte, ok bool)
+	// ReportFill announces that this worker now holds digest's result,
+	// so later lookups from peers can be served from here. It must not
+	// block: implementations send asynchronously.
+	ReportFill(digest string)
+}
+
+// StatusReport is the JSON body of GET /internal/v1/status: the
+// worker-side half of the cluster's health and backpressure protocol.
+// The coordinator sums Queued/QueueCapacity across workers into the
+// global 429 decision and treats Draining as "leave the ring".
+type StatusReport struct {
+	// Queued is the number of jobs waiting in the bounded queue (queue
+	// slots in use, not the queued-state job count — coalesced followers
+	// hold no slot and add no load).
+	Queued int `json:"queued"`
+	// Running is the number of jobs workers are simulating right now.
+	Running int `json:"running"`
+	// QueueCapacity is the queue bound (Options.QueueDepth).
+	QueueCapacity int `json:"queueCapacity"`
+	// Workers is the worker-pool width (Options.Workers).
+	Workers int `json:"workers"`
+	// Draining reports an in-progress graceful shutdown.
+	Draining bool `json:"draining"`
+	// Ready mirrors /healthz/ready.
+	Ready bool `json:"ready"`
+}
+
+// SetRegistered records whether this worker currently holds a cluster
+// registration. In cluster mode readiness requires it, so a worker
+// serves traffic only after the coordinator knows about it. Safe for
+// concurrent use (the cluster client's heartbeat loop calls it).
+func (s *Server) SetRegistered(ok bool) {
+	s.mu.Lock()
+	s.registered = ok
+	s.mu.Unlock()
+}
+
+// ready reports readiness: not draining, and — in cluster mode —
+// registered with the coordinator.
+func (s *Server) ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && (!s.opts.ClusterMode || s.registered)
+}
+
+// handleLive is liveness: the process is up and serving HTTP. It stays
+// 200 through drain so an orchestrator doesn't kill a draining worker.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReady is readiness; /healthz is an alias of it, so existing
+// health checks keep their drain-aware semantics.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, registered := s.draining, s.registered
+	s.mu.Unlock()
+	switch {
+	case draining:
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+	case s.opts.ClusterMode && !registered:
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("not yet registered with coordinator"))
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	}
+}
+
+// handleStatus serves the coordinator's health/backpressure poll.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready()
+	s.mu.Lock()
+	draining := s.draining
+	queued := len(s.queue)
+	s.mu.Unlock()
+	_, running := s.countJobStates()
+	writeJSON(w, http.StatusOK, StatusReport{
+		Queued:        queued,
+		Running:       int(running),
+		QueueCapacity: s.opts.QueueDepth,
+		Workers:       s.opts.Workers,
+		Draining:      draining,
+		Ready:         ready,
+	})
+}
+
+// handleCacheFetch serves a raw cached result to a peer (via the
+// coordinator's proxy). Peek keeps the node's own hit/miss counters
+// honest — a cross-node fetch is the cluster's hit, not this node's.
+func (s *Server) handleCacheFetch(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	out, ok := s.cache.Peek(digest)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no cached result for digest %.12s", digest))
+		return
+	}
+	s.met.add("cache.peer_served", 1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(out)
+}
+
+// retryAfterSeconds derives the Retry-After hint from queue load: one
+// second of headroom plus the queue's depth amortized over the worker
+// pool, capped so a deep backlog never advertises an absurd wait.
+func retryAfterSeconds(queued, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	sec := 1 + queued/workers
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}

@@ -1,0 +1,473 @@
+// The in-process 3-node cluster e2e suite: one cluster.Coordinator and
+// two real serve.Servers (simulation stubbed through the runJob seam)
+// wired over httptest, exercising the acceptance criteria end to end —
+// N identical submissions simulate exactly once cluster-wide, routing
+// is deterministic, a killed worker loses no accepted jobs, and SSE
+// streams proxy through the coordinator with cluster IDs.
+//
+// The tests live in package serve (not cluster) so they can reach the
+// unexported runJob test seam; serve never imports cluster, so the
+// test-only dependency on pimsim/internal/cluster creates no cycle.
+
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimsim/internal/cluster"
+	"pimsim/pei"
+)
+
+// e2eNode is one worker in the in-process cluster.
+type e2eNode struct {
+	srv   *Server
+	ts    *httptest.Server
+	agent *cluster.Client
+	runs  atomic.Int64
+}
+
+type runJobFunc func(ctx context.Context, spec pei.JobSpec, w io.Writer, opts pei.RunJobOptions) error
+
+// startE2ECluster brings up a coordinator plus n workers. With agents,
+// each worker runs a real cluster.Client (heartbeat registration + peer
+// cache); without, workers are registered by one direct POST — the
+// crash-test shape, where no heartbeat revives a killed node. makeRun
+// supplies each node's simulation stub; every invocation is counted in
+// e2eNode.runs. Blocks until every worker is on the ring.
+func startE2ECluster(t *testing.T, n int, agents bool, makeRun func(i int) runJobFunc) (*httptest.Server, []*e2eNode) {
+	t.Helper()
+	coord := cluster.NewCoordinator(cluster.Options{
+		HealthInterval: 10 * time.Millisecond,
+		MaxFails:       2,
+		Logf:           discardLogf,
+	})
+	coordTS := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		coordTS.Close()
+		coord.Close()
+	})
+
+	nodes := make([]*e2eNode, n)
+	for i := 0; i < n; i++ {
+		node := &e2eNode{}
+		run := makeRun(i)
+		var handler atomic.Value // http.Handler; the httptest URL must exist before New
+		node.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}))
+		opts := Options{Workers: 1, QueueDepth: 8, Logf: discardLogf}
+		opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+			node.runs.Add(1)
+			return run(ctx, spec, w, ro)
+		}
+		if agents {
+			node.agent = cluster.NewClient(coordTS.URL, node.ts.URL, cluster.ClientOptions{
+				HeartbeatInterval: 25 * time.Millisecond,
+				Logf:              discardLogf,
+			})
+			opts.Peers = node.agent
+			opts.ClusterMode = true
+		}
+		node.srv = New(opts)
+		handler.Store(node.srv.Handler())
+		if agents {
+			node.agent.Start(node.srv.SetRegistered)
+		} else {
+			body, _ := json.Marshal(map[string]string{"name": node.ts.URL})
+			resp, err := http.Post(coordTS.URL+"/cluster/v1/register", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		t.Cleanup(func() {
+			if node.agent != nil {
+				node.agent.Stop()
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := node.srv.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+			node.ts.Close()
+		})
+		nodes[i] = node
+	}
+
+	waitForAliveMembers(t, coordTS, n)
+	if agents {
+		for _, node := range nodes {
+			waitFor200(t, node.ts.URL+"/healthz/ready", "worker readiness")
+		}
+	}
+	waitFor200(t, coordTS.URL+"/healthz/ready", "coordinator readiness")
+	return coordTS, nodes
+}
+
+func waitForAliveMembers(t *testing.T, coordTS *httptest.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := getBody(t, coordTS.URL+"/cluster/v1/members")
+		if strings.Count(body, `"alive"`) >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("cluster never reached %d alive members", n)
+}
+
+func waitFor200(t *testing.T, url, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ := getBody(t, url); code == http.StatusOK {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s never reached 200 (%s)", what, url)
+}
+
+// submitRaw posts a spec and returns the raw response plus decoded view.
+func submitRaw(t *testing.T, baseURL string, spec pei.JobSpec) (*http.Response, jobView) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil && resp.StatusCode < 400 {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, v
+}
+
+func totalRuns(nodes []*e2eNode) int64 {
+	var sum int64
+	for _, n := range nodes {
+		sum += n.runs.Load()
+	}
+	return sum
+}
+
+// specDigest computes the digest a spec will route under.
+func specDigest(t *testing.T, spec pei.JobSpec) string {
+	t.Helper()
+	norm, _, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := norm.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// ringOwnerURL asks the coordinator which worker owns a digest.
+func ringOwnerURL(t *testing.T, coordTS *httptest.Server, digest string) string {
+	t.Helper()
+	resp, err := http.Get(coordTS.URL + "/cluster/v1/owner?digest=" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var owner struct{ Name string }
+	if err := json.NewDecoder(resp.Body).Decode(&owner); err != nil {
+		t.Fatal(err)
+	}
+	return owner.Name
+}
+
+// TestClusterNMinus1CacheHits is the acceptance-criterion e2e: N
+// identical submissions through the coordinator simulate exactly once
+// cluster-wide; the other N-1 are cache hits; and every submission
+// routes to the same worker (deterministic digest affinity).
+func TestClusterNMinus1CacheHits(t *testing.T) {
+	coordTS, nodes := startE2ECluster(t, 2, true, func(i int) runJobFunc {
+		return func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+			fmt.Fprintf(w, "deterministic result for seed %d\n", spec.Seed)
+			return nil
+		}
+	})
+
+	const n = 5
+	spec := workloadSpec(7)
+	resp, v := submitRaw(t, coordTS.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status %d", resp.StatusCode)
+	}
+	if v.ID != "c000001" {
+		t.Fatalf("cluster job id %q, want c000001", v.ID)
+	}
+	firstMember := resp.Header.Get("X-Peicluster-Member")
+	if firstMember == "" {
+		t.Fatal("submit response missing X-Peicluster-Member")
+	}
+	final := waitTerminal(t, coordTS, v.ID)
+	if final.State != StateDone {
+		t.Fatalf("first job ended %s (%s)", final.State, final.Error)
+	}
+
+	hits := 0
+	for i := 1; i < n; i++ {
+		resp, v := submitRaw(t, coordTS.URL, spec)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d status %d, want 200 (cache hit)", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Peicluster-Member"); got != firstMember {
+			t.Fatalf("submit %d routed to %s, first went to %s (routing not deterministic)", i, got, firstMember)
+		}
+		if v.State == StateDone && v.CacheHit {
+			hits++
+		}
+	}
+	if hits != n-1 {
+		t.Fatalf("%d cluster-wide cache hits, want %d", hits, n-1)
+	}
+	if got := totalRuns(nodes); got != 1 {
+		t.Fatalf("cluster simulated %d times for %d identical submissions, want exactly 1", got, n)
+	}
+
+	// The result reads back through the coordinator.
+	code, body := getBody(t, coordTS.URL+"/v1/jobs/c000001/result")
+	if code != http.StatusOK || !strings.Contains(body, "seed 7") {
+		t.Fatalf("proxied result: status %d body %q", code, body)
+	}
+}
+
+// TestClusterPeerCacheAcrossNodes pins "computed anywhere is a hit
+// everywhere": a result computed on a NON-owner worker (submitted to it
+// directly, bypassing routing) is served as a peer hit when the same
+// spec arrives at the ring owner — the owner never simulates.
+func TestClusterPeerCacheAcrossNodes(t *testing.T) {
+	coordTS, nodes := startE2ECluster(t, 2, true, func(i int) runJobFunc {
+		return func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+			fmt.Fprintf(w, "computed for seed %d\n", spec.Seed)
+			return nil
+		}
+	})
+
+	spec := workloadSpec(3)
+	digest := specDigest(t, spec)
+	ownerURL := ringOwnerURL(t, coordTS, digest)
+	var owner, nonOwner *e2eNode
+	for _, node := range nodes {
+		if node.ts.URL == ownerURL {
+			owner = node
+		} else {
+			nonOwner = node
+		}
+	}
+	if owner == nil || nonOwner == nil {
+		t.Fatalf("owner %q not among the workers", ownerURL)
+	}
+
+	// Compute on the wrong node on purpose.
+	resp, v := submitRaw(t, nonOwner.ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("direct submit status %d", resp.StatusCode)
+	}
+	if final := waitTerminal(t, nonOwner.ts, v.ID); final.State != StateDone {
+		t.Fatalf("direct job ended %s (%s)", final.State, final.Error)
+	}
+	// ReportFill is asynchronous; wait until the coordinator can serve
+	// the digest before routing the next submission.
+	waitFor200(t, coordTS.URL+"/cluster/v1/cache/"+digest, "peer-cache fill")
+
+	// Same spec through the coordinator: digest affinity routes it to
+	// the owner, which peer-hits instead of simulating.
+	resp2, v2 := submitRaw(t, coordTS.URL, spec)
+	if resp2.StatusCode != http.StatusAccepted && resp2.StatusCode != http.StatusOK {
+		t.Fatalf("routed submit status %d", resp2.StatusCode)
+	}
+	final := waitTerminal(t, coordTS, v2.ID)
+	if final.State != StateDone || !final.CacheHit {
+		t.Fatalf("routed job state=%s cacheHit=%v, want a done cache hit", final.State, final.CacheHit)
+	}
+	if owner.runs.Load() != 0 {
+		t.Fatalf("owner simulated %d times despite the peer cache", owner.runs.Load())
+	}
+	if got := totalRuns(nodes); got != 1 {
+		t.Fatalf("cluster simulated %d times, want 1", got)
+	}
+	if got := metricValue(t, owner.ts, "peiserved_cache_peer_hits"); got != 1 {
+		t.Fatalf("owner peiserved_cache_peer_hits = %d, want 1", got)
+	}
+	// Both results byte-identical through either path.
+	_, out1 := getBody(t, nonOwner.ts.URL+"/v1/jobs/"+v.ID+"/result")
+	_, out2 := getBody(t, coordTS.URL+"/v1/jobs/"+v2.ID+"/result")
+	if out1 != out2 {
+		t.Fatalf("results differ:\n--- direct\n%s\n--- routed\n%s", out1, out2)
+	}
+}
+
+// TestClusterFailoverReroutesAcceptedJob kills the worker hosting a
+// running job: the coordinator declares it dead after MaxFails health
+// checks, re-submits the job to the ring survivor, and the client —
+// polling the same cluster ID the whole time — sees it complete. No
+// accepted job is lost and the cluster keeps serving.
+func TestClusterFailoverReroutesAcceptedJob(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release) // unblock node 0's worker so drain can finish
+	coordTS, nodes := startE2ECluster(t, 2, false, func(i int) runJobFunc {
+		if i == 0 {
+			return func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				fmt.Fprintln(w, "slow result")
+				return nil
+			}
+		}
+		return func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+			fmt.Fprintf(w, "survivor result for seed %d\n", spec.Seed)
+			return nil
+		}
+	})
+
+	// Find a spec whose digest the doomed node owns.
+	var spec pei.JobSpec
+	found := false
+	for seed := int64(1); seed <= 64; seed++ {
+		spec = workloadSpec(seed)
+		if ringOwnerURL(t, coordTS, specDigest(t, spec)) == nodes[0].ts.URL {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no seed in 1..64 routed to node 0; ring balance is broken")
+	}
+
+	resp, v := submitRaw(t, coordTS.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if nodes[0].runs.Load() == 0 {
+		// The stub blocks, so the run may not have started yet; wait for
+		// the dequeue so the job is genuinely in flight when we kill it.
+		deadline := time.Now().Add(10 * time.Second)
+		for nodes[0].runs.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if nodes[0].runs.Load() == 0 {
+			t.Fatal("job never started on the owner")
+		}
+	}
+
+	// Crash the owner (no deregistration — this is the failure path, not
+	// the graceful one).
+	nodes[0].ts.CloseClientConnections()
+	nodes[0].ts.Close()
+
+	// The same cluster ID completes on the survivor.
+	final := waitTerminal(t, coordTS, v.ID)
+	if final.State != StateDone {
+		t.Fatalf("failed-over job ended %s (%s)", final.State, final.Error)
+	}
+	if nodes[1].runs.Load() != 1 {
+		t.Fatalf("survivor ran %d jobs, want the rerouted one", nodes[1].runs.Load())
+	}
+	code, body := getBody(t, coordTS.URL+"/v1/jobs/"+v.ID+"/result")
+	if code != http.StatusOK || !strings.Contains(body, "survivor result") {
+		t.Fatalf("post-failover result: status %d body %q", code, body)
+	}
+	_, list := getBody(t, coordTS.URL+"/v1/jobs")
+	if !strings.Contains(list, `"rerouted": 1`) {
+		t.Fatalf("job list missing reroute record:\n%s", list)
+	}
+
+	// The cluster still accepts and completes new work.
+	resp2, v2 := submitRaw(t, coordTS.URL, workloadSpec(999))
+	if resp2.StatusCode != http.StatusAccepted && resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-failover submit status %d", resp2.StatusCode)
+	}
+	if final := waitTerminal(t, coordTS, v2.ID); final.State != StateDone {
+		t.Fatalf("post-failover job ended %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestClusterSSEProxy streams a job's events through the coordinator:
+// progress arrives live, and every identity in the stream is the
+// cluster ID — the worker-local job ID never leaks.
+func TestClusterSSEProxy(t *testing.T) {
+	release := make(chan struct{})
+	coordTS, _ := startE2ECluster(t, 2, true, func(i int) runJobFunc {
+		return func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+			<-release
+			if ro.Progress != nil {
+				ro.Progress(pei.JobProgress{Cell: "bfs/small/locality", Simulations: 1})
+				ro.Progress(pei.JobProgress{Cell: "bfs/small/locality", Done: true, Cycles: 4242, Simulations: 1})
+			}
+			fmt.Fprintln(w, "ok")
+			return nil
+		}
+	})
+
+	_, v := submitRaw(t, coordTS.URL, workloadSpec(5))
+	resp, err := http.Get(coordTS.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	close(release)
+
+	deadline := time.After(30 * time.Second)
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	var all []string
+	for done := false; !done; {
+		select {
+		case l, ok := <-lines:
+			if !ok {
+				t.Fatalf("stream ended before end event; saw: %q", all)
+			}
+			all = append(all, l)
+			if strings.HasPrefix(l, "event: end") {
+				// The end event's data line follows immediately.
+				all = append(all, <-lines)
+				done = true
+			}
+		case <-deadline:
+			t.Fatalf("timed out; saw: %q", all)
+		}
+	}
+	joined := strings.Join(all, "\n")
+	for _, want := range []string{"event: progress", `"cycles":4242`, `"id":"` + v.ID + `"`} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("stream missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, `"id":"j0`) {
+		t.Fatalf("worker-local job ID leaked through the proxy:\n%s", joined)
+	}
+}

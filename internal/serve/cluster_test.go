@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pimsim/pei"
+)
+
+// TestRetryAfterOnBackpressure is the satellite Retry-After test: a 429
+// carries a queue-depth-derived hint (1s headroom + backlog amortized
+// over the worker pool).
+func TestRetryAfterOnBackpressure(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	opts := Options{Workers: 1, QueueDepth: 2}
+	opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+		started <- struct{}{}
+		<-release
+		fmt.Fprintln(w, "ok")
+		return nil
+	}
+	_, ts := newTestServer(t, opts)
+	defer close(release)
+
+	if status, _ := submit(t, ts, workloadSpec(1)); status != http.StatusAccepted {
+		t.Fatalf("first submit: %d", status)
+	}
+	<-started // worker busy; both queue slots free
+	for seed := int64(2); seed <= 3; seed++ {
+		if status, _ := submit(t, ts, workloadSpec(seed)); status != http.StatusAccepted {
+			t.Fatalf("queued submit seed %d: %d", seed, status)
+		}
+	}
+	body, _ := json.Marshal(workloadSpec(4))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: %d, want 429", resp.StatusCode)
+	}
+	// queued=2, workers=1: 1 + 2/1 = 3 seconds.
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After %q, want 3", got)
+	}
+}
+
+// TestRetryAfterSeconds pins the formula's edges.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct{ queued, workers, want int }{
+		{0, 2, 1},
+		{8, 2, 5},
+		{1000, 1, 60}, // capped
+		{4, 0, 5},     // degenerate pool clamps to 1
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.queued, c.workers); got != c.want {
+			t.Errorf("retryAfterSeconds(%d, %d) = %d, want %d", c.queued, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestLivenessReadinessSplit is the satellite health-split test:
+// liveness stays 200 through drain, readiness (and its /healthz alias)
+// flips 503; in cluster mode readiness additionally waits for
+// registration.
+func TestLivenessReadinessSplit(t *testing.T) {
+	opts := Options{Workers: 1, QueueDepth: 2, Logf: discardLogf, ClusterMode: true}
+	s := New(opts)
+	ts := newHandlerServer(t, s)
+
+	// Cluster mode, not yet registered: live but not ready.
+	if code, _ := getBody(t, ts.URL+"/healthz/live"); code != http.StatusOK {
+		t.Fatalf("live before registration: %d", code)
+	}
+	for _, path := range []string{"/healthz/ready", "/healthz"} {
+		if code, body := getBody(t, ts.URL+path); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s before registration: %d (%s)", path, code, body)
+		}
+	}
+
+	s.SetRegistered(true)
+	for _, path := range []string{"/healthz/live", "/healthz/ready", "/healthz"} {
+		if code, _ := getBody(t, ts.URL+path); code != http.StatusOK {
+			t.Fatalf("%s after registration: %d", path, code)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // drain returns immediately; the flag still flips
+	s.Drain(ctx)
+	if code, _ := getBody(t, ts.URL+"/healthz/live"); code != http.StatusOK {
+		t.Fatalf("live while draining: %d, want 200", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/healthz/ready"); code != http.StatusServiceUnavailable {
+		t.Fatalf("ready while draining: %d, want 503", code)
+	}
+}
+
+// newHandlerServer wires a Server into httptest without the drain-at-
+// cleanup behavior of newTestServer (for tests that drain themselves).
+func newHandlerServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestStatusEndpoint: /internal/v1/status reports queue-slot usage (not
+// job-state counts — coalesced followers hold no slot), capacity, and
+// readiness.
+func TestStatusEndpoint(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	opts := Options{Workers: 1, QueueDepth: 4}
+	opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+		started <- struct{}{}
+		<-release
+		fmt.Fprintln(w, "ok")
+		return nil
+	}
+	_, ts := newTestServer(t, opts)
+	defer close(release)
+
+	submit(t, ts, workloadSpec(1))
+	<-started
+	submit(t, ts, workloadSpec(2)) // occupies a queue slot
+	submit(t, ts, workloadSpec(1)) // coalesces: no slot
+
+	code, body := getBody(t, ts.URL+"/internal/v1/status")
+	if code != http.StatusOK {
+		t.Fatalf("status endpoint: %d", code)
+	}
+	var st StatusReport
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queued != 1 || st.Running != 1 || st.QueueCapacity != 4 || st.Workers != 1 {
+		t.Fatalf("status %+v, want queued=1 running=1 capacity=4 workers=1", st)
+	}
+	if st.Draining || !st.Ready {
+		t.Fatalf("status %+v, want ready and not draining", st)
+	}
+}
+
+// fakePeers is a scripted PeerCache.
+type fakePeers struct {
+	mu      sync.Mutex
+	results map[string][]byte
+	lookups int
+	fills   []string
+}
+
+func (p *fakePeers) Lookup(ctx context.Context, digest string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lookups++
+	out, ok := p.results[digest]
+	return out, ok
+}
+
+func (p *fakePeers) ReportFill(digest string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fills = append(p.fills, digest)
+}
+
+// TestPeerCacheHit: a worker that dequeues a job asks the cluster
+// first; on a peer hit the job completes without simulating and counts
+// a peer hit, and no fill is re-announced (the peer already holds it).
+func TestPeerCacheHit(t *testing.T) {
+	spec := workloadSpec(1)
+	norm, _, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := norm.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := &fakePeers{results: map[string][]byte{digest: []byte("peer result\n")}}
+	var runs atomic.Int64
+	opts := Options{Workers: 1, QueueDepth: 4, Peers: peers}
+	opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+		runs.Add(1)
+		fmt.Fprintln(w, "local result")
+		return nil
+	}
+	_, ts := newTestServer(t, opts)
+
+	_, v := submit(t, ts, spec)
+	final := waitTerminal(t, ts, v.ID)
+	if final.State != StateDone || !final.CacheHit {
+		t.Fatalf("peer-hit job ended state=%s cacheHit=%v", final.State, final.CacheHit)
+	}
+	if _, body := getBody(t, ts.URL+"/v1/jobs/"+v.ID+"/result"); body != "peer result\n" {
+		t.Fatalf("result %q, want the peer's bytes", body)
+	}
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("simulated %d times despite a peer hit", got)
+	}
+	if got := metricValue(t, ts, "peiserved_cache_peer_hits"); got != 1 {
+		t.Fatalf("peiserved_cache_peer_hits = %d, want 1", got)
+	}
+}
+
+// TestPeerCacheMissRunsAndFills: a peer miss simulates locally and then
+// announces the fill so the result becomes a hit everywhere.
+func TestPeerCacheMissRunsAndFills(t *testing.T) {
+	peers := &fakePeers{results: map[string][]byte{}}
+	var runs atomic.Int64
+	opts := Options{Workers: 1, QueueDepth: 4, Peers: peers}
+	opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+		runs.Add(1)
+		fmt.Fprintln(w, "local result")
+		return nil
+	}
+	_, ts := newTestServer(t, opts)
+
+	_, v := submit(t, ts, workloadSpec(1))
+	final := waitTerminal(t, ts, v.ID)
+	if final.State != StateDone || final.CacheHit {
+		t.Fatalf("peer-miss job ended state=%s cacheHit=%v", final.State, final.CacheHit)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("simulated %d times, want 1", got)
+	}
+	peers.mu.Lock()
+	lookups, fills := peers.lookups, append([]string(nil), peers.fills...)
+	peers.mu.Unlock()
+	if lookups != 1 {
+		t.Fatalf("peer lookups = %d, want 1", lookups)
+	}
+	if len(fills) != 1 || fills[0] != final.Digest {
+		t.Fatalf("fills = %v, want the job digest", fills)
+	}
+}
+
+// TestCacheFetchEndpoint: peers read raw cached bytes via the internal
+// endpoint; serving them counts peer_served, not a local hit.
+func TestCacheFetchEndpoint(t *testing.T) {
+	opts := Options{Workers: 1, QueueDepth: 4}
+	opts.runJob = func(ctx context.Context, spec pei.JobSpec, w io.Writer, ro pei.RunJobOptions) error {
+		fmt.Fprintln(w, "cached payload")
+		return nil
+	}
+	_, ts := newTestServer(t, opts)
+
+	_, v := submit(t, ts, workloadSpec(1))
+	final := waitTerminal(t, ts, v.ID)
+	hitsBefore := metricValue(t, ts, "peiserved_cache_hits")
+
+	code, body := getBody(t, ts.URL+"/internal/v1/cache/"+final.Digest)
+	if code != http.StatusOK || body != "cached payload\n" {
+		t.Fatalf("cache fetch: status %d body %q", code, body)
+	}
+	if got := metricValue(t, ts, "peiserved_cache_peer_served"); got != 1 {
+		t.Fatalf("peiserved_cache_peer_served = %d, want 1", got)
+	}
+	if got := metricValue(t, ts, "peiserved_cache_hits"); got != hitsBefore {
+		t.Fatalf("peer fetch distorted local hit count (%d -> %d)", hitsBefore, got)
+	}
+	if code, _ := getBody(t, ts.URL+"/internal/v1/cache/deadbeef"); code != http.StatusNotFound {
+		t.Fatalf("missing digest fetch: %d, want 404", code)
+	}
+}

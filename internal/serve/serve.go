@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -41,6 +42,16 @@ type Options struct {
 	// Logf receives one structured line per HTTP request and per job
 	// transition (default log.Printf).
 	Logf func(format string, args ...any)
+
+	// Peers, if non-nil, is the cluster's distributed result cache: a
+	// worker that dequeues a locally-missed job asks Peers.Lookup before
+	// simulating, and reports its own completions via Peers.ReportFill
+	// so the result is a hit everywhere (see internal/cluster).
+	Peers PeerCache
+	// ClusterMode gates readiness on cluster registration: until
+	// SetRegistered(true), /healthz/ready (and /healthz) report 503 so
+	// load balancers and e2e tests can wait for the worker to join.
+	ClusterMode bool
 
 	// now and runJob are test seams.
 	now    func() time.Time
@@ -83,11 +94,12 @@ type Server struct {
 	cache *resultCache
 	met   *metrics
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	inflight map[string]*Job // digest -> queued/running leader
-	seq      int
-	draining bool
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	inflight   map[string]*Job // digest -> queued/running leader
+	seq        int
+	draining   bool
+	registered bool // cluster registration held (see SetRegistered)
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -113,7 +125,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleReady) // back-compat alias for readiness
+	s.mux.HandleFunc("GET /healthz/live", s.handleLive)
+	s.mux.HandleFunc("GET /healthz/ready", s.handleReady)
+	s.mux.HandleFunc("GET /internal/v1/status", s.handleStatus)
+	s.mux.HandleFunc("GET /internal/v1/cache/{digest}", s.handleCacheFetch)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -247,9 +263,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	default:
 		delete(s.jobs, job.ID)
+		queued := len(s.queue)
 		s.mu.Unlock()
 		s.met.add("jobs.rejected", 1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(queued, s.opts.Workers)))
 		httpError(w, http.StatusTooManyRequests, fmt.Errorf("job queue full (depth %d)", s.opts.QueueDepth))
 		return
 	}
@@ -315,6 +332,24 @@ func (s *Server) runOne(job *Job) {
 	job.cancel = cancel
 	job.mu.Unlock()
 
+	// Peer-aware cache: before paying for a simulation, ask the cluster
+	// whether an identical job already completed on another worker.
+	// Normally digest-affinity routing makes this redundant (identical
+	// jobs land where the cache lives), so the lookup only pays off after
+	// ring changes — failover moved the digest's range here, or a client
+	// submitted to a worker directly — which is exactly when it matters.
+	if s.opts.Peers != nil {
+		if out, ok := s.opts.Peers.Lookup(ctx, job.Digest); ok {
+			s.met.add("cache.peer_hits", 1)
+			job.mu.Lock()
+			job.cacheHit = true
+			job.mu.Unlock()
+			s.opts.Logf("job id=%s digest=%.12s state=done cache=peer", job.ID, job.Digest)
+			s.terminate(job, StateDone, out, nil)
+			return
+		}
+	}
+
 	if !job.setState(StateRunning, start) {
 		return
 	}
@@ -373,6 +408,11 @@ func (s *Server) terminate(job *Job, state JobState, out []byte, err error) {
 
 	if state == StateDone {
 		s.cache.Put(job.Digest, out)
+		if s.opts.Peers != nil {
+			// Tell the cluster this worker now holds the result, so an
+			// identical job landing anywhere else becomes a peer hit.
+			s.opts.Peers.ReportFill(job.Digest)
+		}
 	}
 	if job.setState(state, now) {
 		switch state {
@@ -537,8 +577,9 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var queued, running int64
+// countJobStates tallies jobs by lifecycle state for the metrics and
+// cluster-status surfaces.
+func (s *Server) countJobStates() (queued, running int64) {
 	s.mu.Lock()
 	//peilint:allow simdeterm commutative count of job states; no iteration order escapes
 	for _, j := range s.jobs {
@@ -552,6 +593,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		j.mu.Unlock()
 	}
 	s.mu.Unlock()
+	return queued, running
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.countJobStates()
 	cs := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	gauges := map[string]int64{
@@ -576,18 +622,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauges["snapshot.bytes"] = ss.Bytes
 	}
 	s.met.write(w, gauges)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
-	if draining {
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
 }
 
 // --- small helpers ---
