@@ -1,16 +1,26 @@
 // peilint is the project's static-analysis gate: it enforces the
-// simulator's determinism and hot-path invariants (see DESIGN.md §10).
+// simulator's determinism and hot-path invariants (see DESIGN.md §10
+// and §15).
 //
 // Usage:
 //
 //	go run ./cmd/peilint ./...        # whole module (what CI runs)
 //	go run ./cmd/peilint ./internal/sim ./internal/cache/...
+//	go run ./cmd/peilint -json ./...  # machine-readable findings
 //	go run ./cmd/peilint -list        # describe the analyzers
 //
-// Each finding prints as "file:line:col: analyzer: message"; the exit
-// status is 1 if anything was reported. Deliberate exceptions carry
-// `//peilint:allow <analyzer> <reason>` directives, themselves
-// validated by the waiver analyzer.
+// Packages are analyzed in import topological order so that analyzers
+// exporting facts (nondeterminism reachability, per-call string
+// allocation, HTTP round trips) see their dependencies' facts; the
+// checks are therefore inter-procedural across the whole module, not
+// per package. A well-formed //peilint:allow directive that no longer
+// suppresses anything is itself reported as a stale waiver.
+//
+// Each finding prints as "file:line:col: analyzer: message" (or as a
+// JSON array with file/line/col/analyzer/message fields under -json).
+// Exit status: 0 clean, 1 findings, 2 load or internal errors.
+// Deliberate exceptions carry `//peilint:allow <analyzer> <reason>`
+// directives, themselves validated by the waiver analyzer.
 //
 // The binary is standard-library only and works offline: module-local
 // packages are type-checked from source and the standard library is
@@ -18,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +38,22 @@ import (
 	"pimsim/internal/lint"
 )
 
+// jsonFinding is the -json output schema, consumed by the CI lint job.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	listFlag := flag.Bool("list", false, "describe the analyzers and exit")
 	verbose := flag.Bool("v", false, "log each package as it is analyzed")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: peilint [-list] [-v] [packages]\n\npackages are ./dir or ./dir/... patterns; default ./...\n\n")
+			"usage: peilint [-list] [-json] [-v] [packages]\n\npackages are ./dir or ./dir/... patterns; default ./...\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -66,31 +87,42 @@ func main() {
 		fatal(err)
 	}
 
-	var diags []lint.Diagnostic
-	for _, pkg := range pkgs {
-		rel := pkg.RelPath(loader.ModulePath)
-		if *verbose {
+	if *verbose {
+		for _, pkg := range pkgs {
 			fmt.Fprintf(os.Stderr, "peilint: %s\n", pkg.ImportPath)
 		}
-		for _, a := range lint.Analyzers() {
-			if !a.AppliesTo(rel) {
-				continue
-			}
-			ds, err := lint.RunAnalyzer(a, pkg)
-			if err != nil {
-				fatal(err)
-			}
-			diags = append(diags, ds...)
-		}
+	}
+	diags, err := lint.Analyze(loader, pkgs, lint.Analyzers())
+	if err != nil {
+		fatal(err)
 	}
 
-	for _, d := range diags {
-		pos := d.Pos
-		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	// Print module-relative paths so output is stable across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if *jsonFlag {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "peilint: %d finding(s)\n", len(diags))

@@ -40,10 +40,10 @@ type Hierarchy struct {
 
 	// Free lists for the pooled transaction records that replace the
 	// closure chains of the event hot path; see DESIGN.md §11.
-	freeAccess []*accessTxn
-	freePriv   []*privMSHR
-	freeL3     []*l3MSHR
-	freeCoh    []*cohTxn
+	freeAccess []*accessTxn //peilint:allow snapcomplete pool of recycled records: capacity, not simulated state
+	freePriv   []*privMSHR  //peilint:allow snapcomplete pool of recycled records: capacity, not simulated state
+	freeL3     []*l3MSHR    //peilint:allow snapcomplete pool of recycled records: capacity, not simulated state
+	freeCoh    []*cohTxn    //peilint:allow snapcomplete pool of recycled records: capacity, not simulated state
 
 	// Pre-resolved counter handles: every per-event increment on the
 	// simulated hot path goes through one of these, never a string key.

@@ -89,9 +89,27 @@ func (h *Hierarchy) SnapshotTo(w *snap.Writer) {
 	h.AccessLatency.SnapshotTo(w)
 }
 
-// RestoreFrom loads hierarchy state saved by SnapshotTo.
+// RestoreFrom loads hierarchy state saved by SnapshotTo. The target
+// hierarchy must itself be quiescent — restoring over in-flight misses
+// would leave MSHR entries pointing at pre-restore state.
 func (h *Hierarchy) RestoreFrom(r *snap.Reader) {
 	r.Section("HIER")
+	for core := range h.l1 {
+		if n := len(h.privMSHR[core]); n != 0 {
+			r.Fail(fmt.Errorf("%w: restore target core %d has %d private MSHRs in flight", snap.ErrNotQuiescent, core, n))
+			return
+		}
+		if h.privPendHead[core] < len(h.privPend[core]) {
+			r.Fail(fmt.Errorf("%w: restore target core %d has parked miss requests", snap.ErrNotQuiescent, core))
+			return
+		}
+	}
+	for b := range h.l3 {
+		if n := len(h.l3MSHR[b]); n != 0 {
+			r.Fail(fmt.Errorf("%w: restore target L3 bank %d has %d MSHRs in flight", snap.ErrNotQuiescent, b, n))
+			return
+		}
+	}
 	cores, banks := r.Int(), r.Int()
 	if r.Err() != nil {
 		return

@@ -58,6 +58,7 @@ type Client struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+	fills    sync.WaitGroup // in-flight ReportFill goroutines, joined by Stop
 }
 
 // NewClient creates an agent for the worker at advertiseURL, joining
@@ -104,6 +105,7 @@ func (c *Client) Stop() {
 	c.stopOnce.Do(func() {
 		close(c.stop)
 		<-c.done
+		c.fills.Wait()
 		body, _ := json.Marshal(registerRequest{Name: c.advertise})
 		resp, err := c.httpc.Post(c.coordinator+"/cluster/v1/deregister", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -185,7 +187,9 @@ func (c *Client) Lookup(ctx context.Context, digest string) ([]byte, bool) {
 // this worker now caches the digest's result. Fire-and-forget — a lost
 // report only costs a future peer miss.
 func (c *Client) ReportFill(digest string) {
+	c.fills.Add(1)
 	go func() {
+		defer c.fills.Done()
 		body, err := json.Marshal(fillRequest{Digest: digest, Name: c.advertise})
 		if err != nil {
 			return

@@ -83,17 +83,17 @@ type clusterJob struct {
 // fails over dead workers' hash ranges, and serves the peer cache map.
 // Create with NewCoordinator, expose via Handler, stop with Close.
 type Coordinator struct {
-	opts  Options
-	mux   *http.ServeMux
-	mem   *membership
-	met   *cmetrics
+	opts    Options
+	mux     *http.ServeMux
+	mem     *membership
+	met     *cmetrics
 	httpc   *http.Client // bounded, for forwards and peer fetches
 	healthc *http.Client // short-timeout, for health polls
 	sse     *http.Client // unbounded, for event streams
 
 	mu    sync.Mutex
 	jobs  map[string]*clusterJob
-	order []string          // job IDs in submission order
+	order []string // job IDs in submission order
 	seq   int
 	fills map[string]string // digest -> member name holding the cached result
 
@@ -105,17 +105,17 @@ type Coordinator struct {
 func NewCoordinator(opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	c := &Coordinator{
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		mem:   newMembership(),
-		met:   newCMetrics(),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		mem:     newMembership(),
+		met:     newCMetrics(),
 		httpc:   &http.Client{Timeout: opts.ForwardTimeout},
 		healthc: &http.Client{Timeout: opts.HealthTimeout},
 		sse:     &http.Client{},
-		jobs:  make(map[string]*clusterJob),
-		fills: make(map[string]string),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		jobs:    make(map[string]*clusterJob),
+		fills:   make(map[string]string),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	c.mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	c.mux.HandleFunc("GET /v1/jobs", c.handleList)

@@ -75,9 +75,9 @@ type Core struct {
 	mem MemPort
 	pmu PEIPort
 
-	stream   Stream
+	stream   Stream //peilint:allow snapcomplete re-armed by Run with the rebuilt workload's stream; the generator's position restores via the workload snapshot
 	inflight int
-	finished bool
+	finished bool //peilint:allow snapcomplete cleared by Run and re-derived as the restored stream drains
 	// blocked marks the issue stage stalled on a fence, barrier, or
 	// multi-cycle compute op; completions must not resume issue early.
 	blocked bool
@@ -96,7 +96,7 @@ type Core struct {
 	// OnFinished, if set, runs once when the stream is exhausted and
 	// all in-flight operations have drained.
 	OnFinished func()
-	notified   bool
+	notified   bool //peilint:allow snapcomplete re-derived with finished when the restored stream drains
 }
 
 // NewCore creates a core. maxOps of zero means unlimited.

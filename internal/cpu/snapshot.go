@@ -52,8 +52,14 @@ func (b *Barrier) SnapshotTo(w *snap.Writer) {
 	w.I64(b.Generations)
 }
 
-// RestoreFrom loads barrier state saved by SnapshotTo.
+// RestoreFrom loads barrier state saved by SnapshotTo. The target
+// barrier must have no parked participants — a waiter resumed into
+// restored state would double-arrive.
 func (b *Barrier) RestoreFrom(r *snap.Reader) {
 	r.Section("BARR")
+	if b.arrived != 0 || len(b.waiters) != 0 {
+		r.Fail(fmt.Errorf("%w: restore target barrier has %d arrivals and %d waiters", snap.ErrNotQuiescent, b.arrived, len(b.waiters)))
+		return
+	}
 	b.Generations = r.I64()
 }

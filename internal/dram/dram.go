@@ -58,7 +58,7 @@ type Controller struct {
 	t     Timing
 	banks []bank
 	queue []*request
-	free  []*request // recycled queue records; see getRequest/putRequest
+	free  []*request //peilint:allow snapcomplete pool of recycled queue records (see getRequest/putRequest): capacity, not state
 
 	// Per-event counters, resolved once at construction (the prefix is
 	// baked into the handle names, e.g. "dram.row_hit").

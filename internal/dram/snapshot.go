@@ -29,9 +29,16 @@ func (c *Controller) SnapshotTo(w *snap.Writer) {
 	w.I64(c.nextRefresh)
 }
 
-// RestoreFrom loads controller state saved by SnapshotTo.
+// RestoreFrom loads controller state saved by SnapshotTo. The target
+// controller must be quiescent: queued requests or a scheduled pump
+// would replay against the restored timing horizons.
 func (c *Controller) RestoreFrom(r *snap.Reader) {
 	r.Section("DRAM")
+	if len(c.queue) != 0 || c.pumpAt >= 0 {
+		r.Fail(fmt.Errorf("%w: restore target dram controller has %d queued requests (pumpAt=%d)",
+			snap.ErrNotQuiescent, len(c.queue), c.pumpAt))
+		return
+	}
 	banks := r.Int()
 	if r.Err() != nil {
 		return

@@ -39,7 +39,7 @@ type Vault struct {
 	// arrivals at the host (see Chain.flushResponses).
 	respSeq uint32
 
-	free []*vaultTxn // recycled block-transfer transactions
+	free []*vaultTxn //peilint:allow snapcomplete pool of recycled block-transfer transactions: capacity, not state
 }
 
 // Scheduler returns the scheduler of the partition the vault lives in;
@@ -196,7 +196,7 @@ type Chain struct {
 	// the next arrival and, failing that, by a guard event one cycle
 	// later (see Chain.OnEvent).
 	batch      []*Txn
-	batchCycle sim.Cycle
+	batchCycle sim.Cycle //peilint:allow snapcomplete meaningful only while batch is non-empty, which quiescence forbids on both sides
 
 	// cReq/cRes are the paper's C_req/C_res flit counters, halved every
 	// DispatchWindowCyc to form an exponential moving average. Decay is
@@ -206,7 +206,7 @@ type Chain struct {
 	lastDecay  sim.Cycle
 	seq        uint32
 
-	free []*Txn // recycled link transactions (wire buffers ride along)
+	free []*Txn //peilint:allow snapcomplete pool of recycled link transactions (wire buffers ride along): capacity, not state
 }
 
 // NewChain builds the memory system described by cfg. k is the host

@@ -56,6 +56,10 @@ func (ch *Chain) SnapshotTo(w *snap.Writer) {
 // identical topology.
 func (ch *Chain) RestoreFrom(r *snap.Reader) {
 	r.Section("CHN ")
+	if len(ch.batch) != 0 {
+		r.Fail(fmt.Errorf("%w: restore target chain has %d responses awaiting arbitration", snap.ErrNotQuiescent, len(ch.batch)))
+		return
+	}
 	ch.Req.RestoreFrom(r)
 	ch.resNextFree = r.I64()
 	ch.ResBusy = r.I64()

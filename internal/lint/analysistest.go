@@ -29,20 +29,20 @@ type expectation struct {
 }
 
 // AnalyzerTest loads the package in testdata/src/<pkgdir> (relative to
-// the caller's directory), runs the analyzer on it, and checks its
-// diagnostics against the `// want` expectations in the source.
+// the caller's directory), runs the analyzer on it through the driver —
+// with fact propagation across its import closure, so golden packages
+// may import sibling testdata packages under the "peilinttest" root —
+// and checks its diagnostics against the `// want` expectations in the
+// source.
 func AnalyzerTest(t *testing.T, a *Analyzer, pkgdir string) {
 	t.Helper()
-	loader, err := NewLoader(moduleRoot(t))
-	if err != nil {
-		t.Fatalf("loader: %v", err)
-	}
+	loader := testdataLoader(t)
 	dir := filepath.Join("testdata", "src", pkgdir)
 	pkg, err := loader.LoadDir(dir, "peilinttest/"+pkgdir)
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	diags, err := RunAnalyzer(a, pkg)
+	diags, err := analyzeSingle(loader, pkg, a)
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, pkgdir, err)
 	}
@@ -72,6 +72,23 @@ func AnalyzerTest(t *testing.T, a *Analyzer, pkgdir string) {
 			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.re)
 		}
 	}
+}
+
+// testdataLoader builds a loader for the enclosing module with the
+// "peilinttest" import root mapped to this package's testdata/src, so
+// golden packages can import one another.
+func testdataLoader(t *testing.T) *Loader {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	src, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.ExtraRoots = map[string]string{"peilinttest": src}
+	return loader
 }
 
 // moduleRoot finds the enclosing module root from the test's working

@@ -37,9 +37,10 @@ var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "inside the simulator's per-event packages, forbid fmt string " +
 		"building, non-constant string concatenation, and closures that " +
-		"capture variables — each is a heap allocation per event; panic " +
-		"arguments, New* constructors, and snapshot.go files (phase-boundary " +
-		"serialization, not per-event code) are exempt",
+		"capture variables — directly or via calls into helper packages " +
+		"that build strings per call; panic arguments, New* constructors, " +
+		"and snapshot.go files (phase-boundary serialization, not per-event " +
+		"code) are exempt",
 	Packages: []string{
 		"internal/sim",
 		"internal/cache",
@@ -47,10 +48,37 @@ var HotAlloc = &Analyzer{
 		"internal/hmc",
 		"internal/pim",
 	},
-	Run: runHotAlloc,
+	FactTypes: []Fact{(*AllocFact)(nil)},
+	Run:       runHotAlloc,
+}
+
+// AllocFact marks a function that allocates a string on every call:
+// fmt string building (Errorf excluded — error construction is
+// cold-path by project convention, aborting or poisoning the run) or
+// non-constant concatenation, directly or transitively. Hot-path code
+// calling such a helper in another package pays the allocation per
+// event even though the helper's own package is outside the hot
+// perimeter.
+type AllocFact struct {
+	Source string // the allocating operation, e.g. "fmt.Sprintf"
+	Path   string // witness call chain down to Source
+}
+
+// AFact marks AllocFact as a fact type.
+func (*AllocFact) AFact() {}
+
+// factFmtFuncs are the fmt string builders that seed AllocFacts.
+// Errorf is deliberately absent: in this codebase error construction
+// aborts or poisons a run, so it never recurs per event.
+var factFmtFuncs = map[string]bool{
+	"Sprintf":  true,
+	"Sprint":   true,
+	"Sprintln": true,
+	"Appendf":  true,
 }
 
 func runHotAlloc(pass *Pass) error {
+	gatherAllocFacts(pass)
 	for _, file := range pass.Files {
 		// Snapshot/restore code runs once per quiescent phase boundary —
 		// by definition outside the event loop — so a whole snapshot.go
@@ -73,6 +101,78 @@ func runHotAlloc(pass *Pass) error {
 	return nil
 }
 
+// gatherAllocFacts computes, for every function declared in the
+// package, whether it builds a string on every call — directly or
+// through package-local calls or calls into already-analyzed module
+// packages — and exports an AllocFact for each one that does. Panic
+// arguments stay exempt: a message built on the way down allocates only
+// once, when the run is already dead.
+func gatherAllocFacts(pass *Pass) {
+	decls := localFuncs(pass)
+	edges := localEdges(pass, decls)
+	seeds := make(map[*types.Func]reach)
+	for f, fd := range decls {
+		file := fileOf(pass, fd)
+		if file == nil {
+			continue
+		}
+		panicSpans := collectPanicArgSpans(pass.Info, file)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if _, seeded := seeds[f]; seeded {
+				return false
+			}
+			if panicSpans.contains(n) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				callee := funcFor(pass.Info, n.Fun)
+				if callee == nil {
+					return true
+				}
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" && factFmtFuncs[callee.Name()] {
+					src := "fmt." + callee.Name()
+					seeds[f] = reach{Source: src, Path: src}
+					return true
+				}
+				if callee.Pkg() != pass.Pkg {
+					var fact AllocFact
+					if pass.ImportObjectFact(callee, &fact) {
+						seeds[f] = reach{Source: fact.Source, Path: chainTo(callee, reach{fact.Source, fact.Path})}
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && isNonConstantString(pass, n) {
+					seeds[f] = reach{Source: "string concatenation", Path: "string concatenation"}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+					if t := pass.Info.TypeOf(n.Lhs[0]); t != nil && isStringType(t) {
+						seeds[f] = reach{Source: "string +=", Path: "string +="}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for f, r := range propagateReach(decls, edges, seeds) {
+		pass.ExportObjectFact(f, &AllocFact{Source: r.Source, Path: r.Path})
+	}
+}
+
+// fileOf returns the *ast.File containing the declaration.
+func fileOf(pass *Pass, fd *ast.FuncDecl) *ast.File {
+	for _, f := range pass.Files {
+		if fd.Pos() >= f.Pos() && fd.Pos() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
 func checkHotFunc(pass *Pass, fd *ast.FuncDecl, panicSpans panicArgSpans) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if n == nil {
@@ -89,6 +189,7 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, panicSpans panicArgSpans) {
 					"fmt.%s allocates a string per event: precompute the message or move formatting off the hot path",
 					f.Name())
 			}
+			checkAllocCall(pass, n, f)
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD && isNonConstantString(pass, n) {
 				pass.Reportf(n.Pos(),
@@ -111,6 +212,23 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl, panicSpans panicArgSpans) {
 		}
 		return true
 	})
+}
+
+// checkAllocCall flags calls from hot-path code into module functions
+// outside the hot perimeter that allocate a string on every call.
+// Callees inside the perimeter are not re-flagged: the allocation
+// itself gets a direct diagnostic in its own package.
+func checkAllocCall(pass *Pass, call *ast.CallExpr, callee *types.Func) {
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg || pass.InScope(callee.Pkg()) {
+		return
+	}
+	var fact AllocFact
+	if !pass.ImportObjectFact(callee, &fact) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s allocates per event via %s (%s): precompute the string or move the helper call off the hot path",
+		qualName(callee), fact.Source, chainTo(callee, reach{fact.Source, fact.Path}))
 }
 
 func isStringType(t types.Type) bool {

@@ -1,17 +1,26 @@
-// Package lint is the project's static-analysis suite: six analyzers
+// Package lint is the project's static-analysis suite: eight analyzers
 // that turn the simulator's determinism and hot-path invariants (byte-
 // identical tables at any parallelism, zero-allocation event kernel,
 // context-first public entry points, single-threaded partition code,
-// a simulator-free cluster control plane) into machine-checked law,
-// plus the waiver directive that documents every deliberate exception.
+// a simulator-free cluster control plane, complete snapshot pairs,
+// leak-free serving-layer resources) into machine-checked law, plus
+// the waiver directive that documents every deliberate exception.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis
-// API shape — Analyzer, Pass, Diagnostic, and an analysistest-style
-// golden runner — but is built on the standard library alone: the build
-// environment vendors no third-party modules, so the module stays
-// dependency-free and `go run ./cmd/peilint ./...` works offline.
-// Porting an analyzer here to a real go/analysis multichecker is a
-// mechanical rename.
+// API shape — Analyzer, Pass, Diagnostic, Facts, and an
+// analysistest-style golden runner — but is built on the standard
+// library alone: the build environment vendors no third-party modules,
+// so the module stays dependency-free and `go run ./cmd/peilint ./...`
+// works offline. Porting an analyzer here to a real go/analysis
+// multichecker is a mechanical rename.
+//
+// Analysis is module-wide, not per package: the driver (driver.go)
+// analyzes packages in import topological order, analyzers with
+// FactTypes export Facts (fact.go) on functions they have analyzed,
+// and downstream passes import those facts — so a helper two packages
+// away that reads the wall clock, hashes a counter name, or performs
+// an HTTP round trip is caught at the call site in checked code, with
+// the witness chain in the message.
 //
 // # Waivers
 //
@@ -49,6 +58,12 @@ type Analyzer struct {
 	// it is handed, which is what lets analysistest feed it testdata
 	// packages outside the production scope.
 	Packages []string
+	// FactTypes lists the fact types the analyzer exports (fact.go). A
+	// non-empty list makes the driver run the analyzer on every module
+	// package in import topological order — facts must be gathered even
+	// where diagnostics are out of scope — with reporting suppressed
+	// outside Packages.
+	FactTypes []Fact
 	// Run performs the check, reporting findings via pass.Reportf.
 	Run func(pass *Pass) error
 }
@@ -85,19 +100,48 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// ModulePath is the path of the module under analysis ("pimsim");
+	// analyzers use it to classify a callee's package as module-local
+	// and to test whether it falls inside their own scope.
+	ModulePath string
 
+	// report is false when the driver runs the pass for fact gathering
+	// only (the package is outside the analyzer's scope): facts are
+	// exported, diagnostics are discarded before waiver consultation so
+	// a waiver suppressing nothing visible still reads as stale.
+	report  bool
+	facts   *factStore
 	waivers waiverSet
 	diags   []Diagnostic
+}
+
+// InScope reports whether pkg (any package in the current types
+// universe) falls inside this pass's analyzer scope. Analyzers use it
+// to report a cross-package call only at the outermost entry into
+// unchecked territory: a callee whose own package is in scope already
+// gets a direct diagnostic there.
+func (p *Pass) InScope(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path(), p.ModulePath), "/")
+	return p.Analyzer.AppliesTo(rel)
 }
 
 // Reportf records a diagnostic at pos unless a matching
 // //peilint:allow directive waives it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	if !p.report {
+		return
+	}
 	position := p.Fset.Position(pos)
 	// The waiver validator is not itself waivable — otherwise
 	// `//peilint:allow waiver ...` could suppress its own diagnostic.
-	if p.Analyzer.Name != waiverAnalyzerName && p.waivers.covers(p.Analyzer.Name, position) {
-		return
+	if p.Analyzer.Name != waiverAnalyzerName {
+		if w := p.waivers.covering(p.Analyzer.Name, position); w != nil {
+			w.used = true
+			return
+		}
 	}
 	p.diags = append(p.diags, Diagnostic{
 		Pos:      position,
@@ -111,31 +155,35 @@ type waiver struct {
 	pos      token.Pos
 	analyzer string // "" when the directive is malformed
 	reason   string
+	// used records that the waiver suppressed at least one diagnostic
+	// in a reporting pass; the driver turns unused well-formed waivers
+	// into stale-waiver findings so dead exceptions cannot accumulate.
+	used bool
 }
 
 // waiverSet indexes waivers by file and line.
-type waiverSet map[string]map[int]waiver
+type waiverSet map[string]map[int]*waiver
 
-// covers reports whether a well-formed waiver for the named analyzer
-// covers the position: as a trailing comment on the flagged line, or
+// covering returns the well-formed waiver for the named analyzer that
+// covers the position — as a trailing comment on the flagged line, or
 // anywhere in the contiguous block of directive lines directly above it
 // (so several analyzers can be waived for one statement by stacking
-// directives). Malformed waivers never suppress anything.
-func (ws waiverSet) covers(analyzer string, pos token.Position) bool {
+// directives) — or nil. Malformed waivers never suppress anything.
+func (ws waiverSet) covering(analyzer string, pos token.Position) *waiver {
 	lines := ws[pos.Filename]
-	match := func(w waiver, ok bool) bool {
-		return ok && w.analyzer == analyzer && w.reason != ""
+	match := func(w *waiver) bool {
+		return w != nil && w.analyzer == analyzer && w.reason != ""
 	}
-	if w, ok := lines[pos.Line]; match(w, ok) {
-		return true
+	if w := lines[pos.Line]; match(w) {
+		return w
 	}
 	for line := pos.Line - 1; ; line-- {
 		w, ok := lines[line]
 		if !ok {
-			return false
+			return nil
 		}
-		if match(w, ok) {
-			return true
+		if match(w) {
+			return w
 		}
 	}
 }
@@ -165,13 +213,13 @@ func parseWaivers(fset *token.FileSet, files []*ast.File) waiverSet {
 					rest = rest[:i]
 				}
 				pos := fset.Position(c.Pos())
-				w := waiver{pos: c.Pos()}
+				w := &waiver{pos: c.Pos()}
 				if fields := strings.Fields(rest); len(fields) > 0 {
 					w.analyzer = fields[0]
 					w.reason = strings.TrimSpace(strings.Join(fields[1:], " "))
 				}
 				if ws[pos.Filename] == nil {
-					ws[pos.Filename] = make(map[int]waiver)
+					ws[pos.Filename] = make(map[int]*waiver)
 				}
 				ws[pos.Filename][pos.Line] = w
 			}
@@ -180,8 +228,10 @@ func parseWaivers(fset *token.FileSet, files []*ast.File) waiverSet {
 	return ws
 }
 
-// RunAnalyzer applies one analyzer to a loaded package and returns its
-// diagnostics sorted by position.
+// RunAnalyzer applies one analyzer to a loaded package in isolation —
+// no facts flow in from dependencies — and returns its diagnostics
+// sorted by position. Whole-module runs with fact propagation go
+// through Analyze (driver.go).
 func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	pass := &Pass{
 		Analyzer: a,
@@ -189,6 +239,8 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		report:   true,
+		facts:    newFactStore(),
 		waivers:  parseWaivers(pkg.Fset, pkg.Files),
 	}
 	if err := a.Run(pass); err != nil {
@@ -210,11 +262,14 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 }
 
-// Analyzers returns the full suite in a stable order: the six
+// Analyzers returns the full suite in a stable order: the eight
 // invariant analyzers plus the waiver validator.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -224,6 +279,8 @@ func Analyzers() []*Analyzer {
 		HotAlloc,
 		PartSafe,
 		ClusterSafe,
+		SnapComplete,
+		LeakSafe,
 		Waiver,
 	}
 }
@@ -238,5 +295,5 @@ const waiverAnalyzerName = "waiver"
 // omitted — and not referenced via Analyzers() to avoid an
 // initialization cycle back into the Waiver variable).
 func analyzerNames() []string {
-	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name, PartSafe.Name, ClusterSafe.Name}
+	return []string{SimDeterm.Name, StatsHandle.Name, CtxFirst.Name, HotAlloc.Name, PartSafe.Name, ClusterSafe.Name, SnapComplete.Name, LeakSafe.Name}
 }

@@ -9,12 +9,57 @@ import (
 // accept its waived lines (the testdata has no want comment on waived
 // lines, so these tests fail unless suppression works).
 
-func TestSimDeterm(t *testing.T)   { AnalyzerTest(t, SimDeterm, "simdeterm") }
-func TestStatsHandle(t *testing.T) { AnalyzerTest(t, StatsHandle, "statshandle") }
-func TestCtxFirst(t *testing.T)    { AnalyzerTest(t, CtxFirst, "ctxfirst") }
-func TestHotAlloc(t *testing.T)    { AnalyzerTest(t, HotAlloc, "hotalloc") }
-func TestPartSafe(t *testing.T)    { AnalyzerTest(t, PartSafe, "partsafe") }
-func TestClusterSafe(t *testing.T) { AnalyzerTest(t, ClusterSafe, "clustersafe") }
+func TestSimDeterm(t *testing.T)    { AnalyzerTest(t, SimDeterm, "simdeterm") }
+func TestStatsHandle(t *testing.T)  { AnalyzerTest(t, StatsHandle, "statshandle") }
+func TestCtxFirst(t *testing.T)     { AnalyzerTest(t, CtxFirst, "ctxfirst") }
+func TestHotAlloc(t *testing.T)     { AnalyzerTest(t, HotAlloc, "hotalloc") }
+func TestPartSafe(t *testing.T)     { AnalyzerTest(t, PartSafe, "partsafe") }
+func TestClusterSafe(t *testing.T)  { AnalyzerTest(t, ClusterSafe, "clustersafe") }
+func TestSnapComplete(t *testing.T) { AnalyzerTest(t, SnapComplete, "snapcomplete") }
+func TestLeakSafe(t *testing.T)     { AnalyzerTest(t, LeakSafe, "leaksafe") }
+
+// TestFactChain pins inter-procedural fact propagation: the
+// wall-clock read sits two packages below the checked code
+// (simuser → mid → leaf → time.Now), so only facts flowing through the
+// driver's topological analysis can surface it — and the diagnostic
+// must carry the full witness chain.
+func TestFactChain(t *testing.T) { AnalyzerTest(t, SimDeterm, "factchain/simuser") }
+
+// TestStaleWaivers pins the driver's stale-waiver pass: a directive
+// that suppresses real findings survives; a directive whose analyzer
+// reports nothing on its lines — including one naming an analyzer that
+// does not even apply to the package — is itself a finding.
+func TestStaleWaivers(t *testing.T) {
+	loader := testdataLoader(t)
+	pkg, err := loader.LoadDir("testdata/src/stalewaiver", "peilinttest/stalewaiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Analyze(loader, []*Package{pkg}, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want exactly the 2 stale waivers:\n%v", len(diags), diags)
+	}
+	wantSubstrings := []string{"stale waiver: snapcomplete", "stale waiver: hotalloc"}
+	for i, d := range diags {
+		if d.Analyzer != "waiver" {
+			t.Errorf("diagnostic %d from %q, want the waiver analyzer: %s", i, d.Analyzer, d)
+		}
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q in:\n%v", want, diags)
+		}
+	}
+}
 
 // TestWaiverValidation covers the waiver mechanism itself: a directive
 // with a typo'd analyzer name, a missing reason, or no arguments at all
@@ -86,7 +131,13 @@ func TestAnalyzerScope(t *testing.T) {
 		{ClusterSafe, "internal/cluster", true},
 		{ClusterSafe, "internal/serve", false}, // serve legitimately imports the simulator
 		{ClusterSafe, "internal/sim", false},
-		{Waiver, "internal/graph", true},    // waiver validates everywhere
+		{SnapComplete, "internal/sim", true}, // any package that snapshots
+		{SnapComplete, "internal/cluster", true},
+		{SnapComplete, "internal/graph", true},
+		{LeakSafe, "internal/serve", true},
+		{LeakSafe, "internal/cluster", true},
+		{LeakSafe, "internal/sim", false}, // no HTTP or goroutines inside the simulator (partsafe's job)
+		{Waiver, "internal/graph", true},  // waiver validates everywhere
 		{Waiver, "cmd/peilint", true},
 	}
 	for _, c := range cases {
@@ -116,19 +167,11 @@ func TestSuiteCleanOnTree(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("loader found only %d packages; expected the whole module", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		rel := pkg.RelPath(loader.ModulePath)
-		for _, a := range Analyzers() {
-			if !a.AppliesTo(rel) {
-				continue
-			}
-			diags, err := RunAnalyzer(a, pkg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, d := range diags {
-				t.Errorf("%s", d)
-			}
-		}
+	diags, err := Analyze(loader, pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
 	}
 }

@@ -48,9 +48,23 @@ type Loader struct {
 	ModulePath string
 	ModuleDir  string
 
+	// ExtraRoots maps additional import-path prefixes to source
+	// directories, resolved before the standard library. The
+	// analysistest harness registers "peilinttest" → testdata/src here
+	// so golden packages can import each other — which is what the
+	// fact-propagation suites need.
+	ExtraRoots map[string]string
+
 	fset *token.FileSet
 	src  types.ImporterFrom
 	pkgs map[string]*Package
+}
+
+// Loaded returns the package previously loaded under the given import
+// path, or nil. The driver uses it to map a types.Package in the import
+// graph back to its syntax for fact gathering.
+func (l *Loader) Loaded(importPath string) *Package {
+	return l.pkgs[importPath]
 }
 
 // NewLoader creates a loader for the module rooted at dir, reading the
@@ -112,6 +126,16 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 			return nil, err
 		}
 		return p.Types, nil
+	}
+	for prefix, root := range l.ExtraRoots {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, prefix), "/")
+			p, err := l.LoadDir(filepath.Join(root, filepath.FromSlash(rel)), path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
 	}
 	return l.src.ImportFrom(path, dir, mode)
 }

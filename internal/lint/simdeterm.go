@@ -33,12 +33,26 @@ var simPackages = []string{
 var SimDeterm = &Analyzer{
 	Name: "simdeterm",
 	Doc: "forbid wall-clock time, the seedless global math/rand RNG, and " +
-		"order-sensitive map iteration in simulator packages; simulated time " +
+		"order-sensitive map iteration in simulator packages — directly or " +
+		"through any chain of calls into helper packages; simulated time " +
 		"comes from sim.Kernel cycles and every RNG must be rand.New with a " +
 		"recorded seed so runs are reproducible bit for bit",
-	Packages: simPackages,
-	Run:      runSimDeterm,
+	Packages:  simPackages,
+	FactTypes: []Fact{(*NondetFact)(nil)},
+	Run:       runSimDeterm,
 }
+
+// NondetFact marks a function that transitively reaches a wall-clock or
+// seedless-RNG source. Exported on every module function so that a
+// simulator package calling a helper two imports away is caught at the
+// call site, with the witness chain in the message.
+type NondetFact struct {
+	Source string // the forbidden operation, e.g. "time.Now"
+	Path   string // witness call chain down to Source
+}
+
+// AFact marks NondetFact as a fact type.
+func (*NondetFact) AFact() {}
 
 // globalRandAllowed lists math/rand package-level functions that do not
 // touch the global RNG: constructors for explicitly seeded generators.
@@ -52,18 +66,129 @@ var globalRandAllowed = map[string]bool{
 }
 
 func runSimDeterm(pass *Pass) error {
+	gatherNondetFacts(pass)
 	for _, file := range pass.Files {
+		// A call's Fun selector is handled by checkNondetCall; remember
+		// those nodes so checkNondetRef only sees true value references
+		// (callbacks, injectable seams) — a call would otherwise report
+		// twice.
+		calleePos := make(map[ast.Expr]bool)
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
 				checkForbiddenRef(pass, n)
+				if !calleePos[n] {
+					checkNondetRef(pass, n)
+				}
 			case *ast.RangeStmt:
 				checkMapRange(pass, file, n)
+			case *ast.CallExpr:
+				calleePos[ast.Unparen(n.Fun)] = true
+				checkNondetCall(pass, n)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// nondetSource classifies a function as a direct nondeterminism source:
+// wall-clock reads and the seedless global RNG.
+func nondetSource(f *types.Func) (string, bool) {
+	if f == nil || f.Pkg() == nil {
+		return "", false
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" {
+			return "time." + f.Name(), true
+		}
+	case "math/rand", "math/rand/v2":
+		if isPkgFunc(f, f.Pkg().Path()) && !globalRandAllowed[f.Name()] {
+			return f.Pkg().Name() + "." + f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// gatherNondetFacts computes, for every function declared in the
+// package, whether it transitively reaches a nondeterminism source —
+// directly, through package-local calls, or through calls into
+// already-analyzed module packages (their NondetFacts) — and exports a
+// NondetFact for each one that does.
+func gatherNondetFacts(pass *Pass) {
+	decls := localFuncs(pass)
+	edges := localEdges(pass, decls)
+	seeds := make(map[*types.Func]reach)
+	for f, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, seeded := seeds[f]; seeded {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if callee, ok := pass.Info.Uses[n.Sel].(*types.Func); ok {
+					if src, bad := nondetSource(callee); bad {
+						seeds[f] = reach{Source: src, Path: src}
+					}
+				}
+			case *ast.CallExpr:
+				callee := funcFor(pass.Info, n.Fun)
+				if callee == nil || callee.Pkg() == pass.Pkg {
+					return true
+				}
+				var fact NondetFact
+				if pass.ImportObjectFact(callee, &fact) {
+					seeds[f] = reach{Source: fact.Source, Path: chainTo(callee, reach{fact.Source, fact.Path})}
+				}
+			}
+			return true
+		})
+	}
+	for f, r := range propagateReach(decls, edges, seeds) {
+		pass.ExportObjectFact(f, &NondetFact{Source: r.Source, Path: r.Path})
+	}
+}
+
+// checkNondetCall flags calls from simulator code into module functions
+// outside the determinism perimeter that transitively reach a
+// nondeterminism source. Calls within the perimeter are not re-flagged
+// here: the source itself already gets a direct diagnostic in its own
+// package.
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	callee := funcFor(pass.Info, call.Fun)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg() == pass.Pkg || pass.InScope(callee.Pkg()) {
+		return
+	}
+	var fact NondetFact
+	if !pass.ImportObjectFact(callee, &fact) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"call to %s reaches %s (%s): simulator code must stay deterministic through every helper package it calls",
+		qualName(callee), fact.Source, chainTo(callee, reach{fact.Source, fact.Path}))
+}
+
+// checkNondetRef flags value references (not calls) to out-of-scope
+// module functions that transitively reach a nondeterminism source:
+// storing such a function in a callback field smuggles the wall clock
+// into the perimeter just as surely as calling it, and func-valued
+// seams are otherwise invisible to the call-graph checks.
+func checkNondetRef(pass *Pass, sel *ast.SelectorExpr) {
+	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg() == pass.Pkg || pass.InScope(f.Pkg()) {
+		return
+	}
+	// No module-locality gate needed: facts are only ever exported on
+	// module-local declarations, so stdlib references never match here
+	// (checkForbiddenRef covers the direct stdlib sources).
+	var fact NondetFact
+	if !pass.ImportObjectFact(f, &fact) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"reference to %s reaches %s (%s): storing it as a callback pulls nondeterminism inside the simulator perimeter — inject a deterministic implementation or waive with a reason",
+		qualName(f), fact.Source, chainTo(f, reach{fact.Source, fact.Path}))
 }
 
 // checkForbiddenRef flags any reference (call or value use, so the

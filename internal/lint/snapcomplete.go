@@ -1,0 +1,260 @@
+// The snapcomplete analyzer: checkpoint/warm-start correctness
+// (DESIGN.md §13) rests on hand-written SnapshotTo/RestoreFrom pairs,
+// and the failure mode is silent — a field added to a component struct
+// but missed in its snapshot methods corrupts warm starts and any
+// rollback built on them (the LazyPIM plan in ROADMAP.md) without
+// failing a single test, because the format's section tags only catch
+// *misaligned* layouts, not *incomplete* ones.
+//
+// The analyzer closes that gap structurally: for every type with a
+// SnapshotTo method, every mutable field — one assigned anywhere in the
+// package outside construction (New*/init) and outside RestoreFrom
+// itself — must be referenced by SnapshotTo, and restored (referenced)
+// by RestoreFrom. Fields that are deliberately not serialized — pools
+// (recycling capacity, not state), derived caches rebuilt on first use,
+// queues that quiescence guarantees empty — carry
+// `//peilint:allow snapcomplete <reason>` on their declaration line, so
+// every exemption is written down next to the field it exempts.
+//
+// Known imprecision, chosen deliberately: mutations through aliases
+// (p := &v.f; p.x = 1) and through methods on the field's type are not
+// seen, so such fields are only checked if also assigned directly.
+// Fields can be over-matched too — a reference to the field on *any*
+// instance counts — but SnapshotTo methods read their own receiver in
+// practice, so this has not produced false negatives in the tree.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapComplete enforces snapshot coverage for every type with a
+// SnapshotTo method.
+var SnapComplete = &Analyzer{
+	Name: "snapcomplete",
+	Doc: "every type with a SnapshotTo method must restore from a " +
+		"RestoreFrom, and every mutable field (assigned outside New*/init) " +
+		"must be written in SnapshotTo and restored in RestoreFrom; " +
+		"deliberately unserialized fields (pools, derived caches, " +
+		"quiescence-empty queues) carry //peilint:allow snapcomplete on " +
+		"their declaration",
+	Packages: nil, // any package that snapshots is covered
+	Run:      runSnapComplete,
+}
+
+// snapPair collects the snapshot methods of one named type.
+type snapPair struct {
+	named   *types.Named
+	snap    *ast.FuncDecl
+	restore *ast.FuncDecl
+}
+
+func runSnapComplete(pass *Pass) error {
+	pairs := collectSnapPairs(pass)
+	if len(pairs) == 0 {
+		return nil
+	}
+	mutations := collectFieldMutations(pass)
+	decls := localFuncs(pass)
+	edges := localEdges(pass, decls)
+
+	// Deterministic order: by type position.
+	named := make([]*types.Named, 0, len(pairs))
+	for n := range pairs {
+		named = append(named, n)
+	}
+	sort.Slice(named, func(i, j int) bool { return named[i].Obj().Pos() < named[j].Obj().Pos() })
+
+	for _, n := range named {
+		p := pairs[n]
+		typeName := n.Obj().Name()
+		if p.snap == nil {
+			// RestoreFrom without SnapshotTo: a half of the pair exists,
+			// so the author meant this type to checkpoint.
+			pass.Reportf(p.restore.Pos(),
+				"%s has RestoreFrom but no SnapshotTo: snapshot pairs must be written together", typeName)
+			continue
+		}
+		if p.restore == nil {
+			pass.Reportf(p.snap.Pos(),
+				"%s has SnapshotTo but no RestoreFrom: a snapshot nobody can load is dead weight, and a restore path added later will drift", typeName)
+			continue
+		}
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		inSnap := fieldsReferenced(pass, p.snap, st, decls, edges)
+		inRestore := fieldsReferenced(pass, p.restore, st, decls, edges)
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			mutator, mutable := mutations[field]
+			if !mutable {
+				continue
+			}
+			if !inSnap[field] {
+				pass.Reportf(field.Pos(),
+					"mutable field %s.%s (assigned in %s) is not written by SnapshotTo: a warm start would silently lose it — serialize it or waive with //peilint:allow snapcomplete <reason>",
+					typeName, field.Name(), mutator)
+			}
+			if !inRestore[field] {
+				pass.Reportf(field.Pos(),
+					"mutable field %s.%s (assigned in %s) is not restored by RestoreFrom: a warm start would silently lose it — restore it or waive with //peilint:allow snapcomplete <reason>",
+					typeName, field.Name(), mutator)
+			}
+		}
+	}
+	return nil
+}
+
+// collectSnapPairs finds every named type in the package with a
+// SnapshotTo or RestoreFrom method (single-parameter, so unrelated
+// same-named methods don't trigger).
+func collectSnapPairs(pass *Pass) map[*types.Named]*snapPair {
+	pairs := make(map[*types.Named]*snapPair)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "SnapshotTo" && fd.Name.Name != "RestoreFrom" {
+				continue
+			}
+			if fd.Type.Params == nil || len(fd.Type.Params.List) != 1 {
+				continue
+			}
+			f, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			named := methodRecvNamed(f)
+			if named == nil || named.Obj().Pkg() != pass.Pkg {
+				continue
+			}
+			p := pairs[named]
+			if p == nil {
+				p = &snapPair{named: named}
+				pairs[named] = p
+			}
+			if fd.Name.Name == "SnapshotTo" {
+				p.snap = fd
+			} else {
+				p.restore = fd
+			}
+		}
+	}
+	return pairs
+}
+
+// collectFieldMutations maps every struct field assigned anywhere in
+// the package — outside construction (New*, init) and outside
+// RestoreFrom — to the name of one function that assigns it. Assigning
+// through an index or a nested selector marks the outer field too:
+// v.lines[i].lru = x mutates the contents of lines.
+func collectFieldMutations(pass *Pass) map[*types.Var]string {
+	mutations := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if strings.HasPrefix(strings.ToLower(name), "new") || name == "init" || name == "RestoreFrom" {
+				continue
+			}
+			label := name
+			if fd.Recv != nil {
+				if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					label = qualName(f)
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						markFieldChain(pass, lhs, label, mutations)
+					}
+				case *ast.IncDecStmt:
+					markFieldChain(pass, n.X, label, mutations)
+				}
+				return true
+			})
+		}
+	}
+	return mutations
+}
+
+// markFieldChain records every struct field along an lvalue's selector
+// chain as mutated by label.
+func markFieldChain(pass *Pass, expr ast.Expr, label string, mutations map[*types.Var]string) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+				if _, seen := mutations[v]; !seen {
+					mutations[v] = label
+				}
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return
+		}
+	}
+}
+
+// fieldsReferenced returns the fields of st that the method references
+// — reads for SnapshotTo, writes for RestoreFrom; either direction
+// counts, since quiescence checks legitimately read a field without
+// serializing it (those fields are waived, not invisible). References
+// propagate through package-local callees: a RestoreFrom that rebuilds
+// counters via Set → intern, or asserts quiescence via Pending(), has
+// genuinely consulted the fields those helpers touch.
+func fieldsReferenced(pass *Pass, fd *ast.FuncDecl, st *types.Struct, decls map[*types.Func]*ast.FuncDecl, edges map[*types.Func][]*types.Func) map[*types.Var]bool {
+	own := make(map[*types.Var]bool, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		own[st.Field(i)] = true
+	}
+	// BFS over the local call graph from the snapshot method itself.
+	bodies := []*ast.FuncDecl{fd}
+	if root, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+		seen := map[*types.Func]bool{root: true}
+		queue := []*types.Func{root}
+		for len(queue) > 0 {
+			f := queue[0]
+			queue = queue[1:]
+			for _, callee := range edges[f] {
+				if !seen[callee] {
+					seen[callee] = true
+					queue = append(queue, callee)
+					if cd, ok := decls[callee]; ok {
+						bodies = append(bodies, cd)
+					}
+				}
+			}
+		}
+	}
+	refs := make(map[*types.Var]bool)
+	for _, body := range bodies {
+		ast.Inspect(body.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok && v.IsField() && own[v] {
+				refs[v] = true
+			}
+			return true
+		})
+	}
+	return refs
+}

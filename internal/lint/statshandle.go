@@ -2,7 +2,10 @@
 // per counter update. PR 2 introduced stats.Handle — an interned index
 // into the registry's flat value array — precisely so Tick/Step/
 // Schedule trees bump integers, not map entries. This analyzer keeps
-// the string-keyed convenience methods out of those trees.
+// the string-keyed convenience methods out of those trees, including
+// through wrappers defined in other packages: a helper that calls
+// Registry.Add by name carries a StringStatsFact, and calling it from a
+// hot tree is the same hash per event.
 
 package lint
 
@@ -36,7 +39,8 @@ var StatsHandle = &Analyzer{
 	Name: "statshandle",
 	Doc: "inside Tick/Step/Schedule call trees, stats must go through " +
 		"pre-resolved stats.Handle counters (Registry.Counter at construction " +
-		"time), not string-keyed Registry.Add/Inc/Get/Set",
+		"time), not string-keyed Registry.Add/Inc/Get/Set — whether called " +
+		"directly or through a wrapper in another package",
 	Packages: []string{
 		"internal/sim",
 		"internal/cache",
@@ -49,40 +53,40 @@ var StatsHandle = &Analyzer{
 		"internal/memlayout",
 		"internal/workloads",
 	},
-	Run: runStatsHandle,
+	FactTypes: []Fact{(*StringStatsFact)(nil)},
+	Run:       runStatsHandle,
+}
+
+// StringStatsFact marks a function that calls a string-keyed
+// stats.Registry method on every invocation, directly or transitively —
+// a per-call string hash wherever it is called from.
+type StringStatsFact struct {
+	Source string // the string-keyed method, e.g. "Registry.Add"
+	Path   string // witness call chain down to Source
+}
+
+// AFact marks StringStatsFact as a fact type.
+func (*StringStatsFact) AFact() {}
+
+// isStringKeyedRegistryMethod reports whether f is one of the
+// string-keyed stats.Registry methods.
+func isStringKeyedRegistryMethod(f *types.Func) bool {
+	if f == nil || !stringKeyedRegistryMethods[f.Name()] {
+		return false
+	}
+	named := methodRecvNamed(f)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Name() == "stats"
 }
 
 func runStatsHandle(pass *Pass) error {
-	// Map every package-local function/method to its declaration.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, file := range pass.Files {
-		for _, d := range file.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if f, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[f] = fd
-			}
-		}
-	}
+	decls := localFuncs(pass)
+	edges := localEdges(pass, decls)
 
-	// Static package-local call graph.
-	callees := make(map[*types.Func][]*types.Func)
-	for f, fd := range decls {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if callee := funcFor(pass.Info, call.Fun); callee != nil {
-				if _, local := decls[callee]; local {
-					callees[f] = append(callees[f], callee)
-				}
-			}
-			return true
-		})
-	}
+	gatherStatsFacts(pass, decls, edges)
 
 	// BFS from the hot roots through package-local edges.
 	hot := make(map[*types.Func]string) // func -> root that reaches it
@@ -96,7 +100,7 @@ func runStatsHandle(pass *Pass) error {
 	for len(queue) > 0 {
 		f := queue[0]
 		queue = queue[1:]
-		for _, callee := range callees[f] {
+		for _, callee := range edges[f] {
 			if _, seen := hot[callee]; !seen {
 				hot[callee] = hot[f]
 				queue = append(queue, callee)
@@ -112,22 +116,71 @@ func runStatsHandle(pass *Pass) error {
 				return true
 			}
 			callee := funcFor(pass.Info, call.Fun)
-			if callee == nil || !stringKeyedRegistryMethods[callee.Name()] {
+			if callee == nil {
 				return true
 			}
-			named := methodRecvNamed(callee)
-			if named == nil {
+			if isStringKeyedRegistryMethod(callee) {
+				pass.Reportf(call.Pos(),
+					"string-keyed stats.Registry.%s in %s's call tree (via %s): resolve a stats.Handle with Registry.Counter at construction time and update through it",
+					callee.Name(), root, f.Name())
 				return true
 			}
-			obj := named.Obj()
-			if obj == nil || obj.Name() != "Registry" || obj.Pkg() == nil || obj.Pkg().Name() != "stats" {
+			// A wrapper in another, unchecked package that hashes a
+			// counter name per call is the same cost in disguise.
+			if callee.Pkg() == nil || callee.Pkg() == pass.Pkg || pass.InScope(callee.Pkg()) {
 				return true
 			}
-			pass.Reportf(call.Pos(),
-				"string-keyed stats.Registry.%s in %s's call tree (via %s): resolve a stats.Handle with Registry.Counter at construction time and update through it",
-				callee.Name(), root, f.Name())
+			var fact StringStatsFact
+			if pass.ImportObjectFact(callee, &fact) {
+				pass.Reportf(call.Pos(),
+					"call to %s in %s's call tree hashes a counter name per event (%s): resolve a stats.Handle at construction time instead",
+					qualName(callee), root, chainTo(callee, reach{fact.Source, fact.Path}))
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// gatherStatsFacts exports a StringStatsFact for every declared
+// function that reaches a string-keyed Registry call — except the
+// Registry methods themselves, which the direct check already names.
+func gatherStatsFacts(pass *Pass, decls map[*types.Func]*ast.FuncDecl, edges map[*types.Func][]*types.Func) {
+	seeds := make(map[*types.Func]reach)
+	for f, fd := range decls {
+		if isStringKeyedRegistryMethod(f) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if _, seeded := seeds[f]; seeded {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := funcFor(pass.Info, call.Fun)
+			if callee == nil {
+				return true
+			}
+			if isStringKeyedRegistryMethod(callee) {
+				src := "Registry." + callee.Name()
+				seeds[f] = reach{Source: src, Path: src}
+				return true
+			}
+			if callee.Pkg() != pass.Pkg {
+				var fact StringStatsFact
+				if pass.ImportObjectFact(callee, &fact) {
+					seeds[f] = reach{Source: fact.Source, Path: chainTo(callee, reach{fact.Source, fact.Path})}
+				}
+			}
+			return true
+		})
+	}
+	for f, r := range propagateReach(decls, edges, seeds) {
+		if isStringKeyedRegistryMethod(f) {
+			continue
+		}
+		pass.ExportObjectFact(f, &StringStatsFact{Source: r.Source, Path: r.Path})
+	}
 }

@@ -1,0 +1,12 @@
+// The bottom of the fact-propagation chain: a helper package, outside
+// every analyzer's scope, that reads the wall clock. Nothing reports
+// here — the NondetFact exported on Stamp is what travels upward.
+package leaf
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Pure is deterministic; callers must not be flagged.
+func Pure(x int64) int64 { return x * 2 }

@@ -1,0 +1,12 @@
+// The middle of the fact-propagation chain: wraps the leaf package
+// without touching time itself, so only fact propagation can see that
+// Wrap is nondeterministic.
+package mid
+
+import "peilinttest/factchain/leaf"
+
+// Wrap hides leaf.Stamp behind an innocent-looking signature.
+func Wrap() int64 { return leaf.Stamp() }
+
+// Double stays deterministic through the same leaf package.
+func Double(x int64) int64 { return leaf.Pure(x) }

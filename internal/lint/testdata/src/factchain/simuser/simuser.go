@@ -1,0 +1,31 @@
+// The top of the fact-propagation chain: simulator-style code calling
+// a helper whose nondeterminism is two packages away. The diagnostic
+// must name the full witness chain.
+package simuser
+
+import "peilinttest/factchain/mid"
+
+// Tick calls a wrapper whose wall-clock read is two packages down.
+func Tick() int64 {
+	return mid.Wrap() // want `reaches time\.Now \(mid\.Wrap → leaf\.Stamp → time\.Now\)`
+}
+
+// Calc follows an equally deep but deterministic chain: no diagnostic.
+func Calc() int64 {
+	return mid.Double(21)
+}
+
+// hook is the injectable-seam pattern: storing the wrapper as a
+// callback smuggles the wall clock in without any call expression.
+var hook func() int64
+
+func Install() {
+	hook = mid.Wrap // want `reference to mid\.Wrap reaches time\.Now`
+}
+
+// Installing the deterministic wrapper is fine.
+var calc func(int64) int64
+
+func InstallCalc() {
+	calc = mid.Double
+}

@@ -70,7 +70,7 @@ type PMU struct {
 	cFences, cBalanced  stats.Handle
 	cOp                 []stats.Handle
 
-	free []*peiTxn // recycled PEI transactions
+	free []*peiTxn //peilint:allow snapcomplete pool of recycled PEI transactions: capacity, not state
 }
 
 // peiTxn carries one in-flight PEI through its execution pipeline —

@@ -61,9 +61,16 @@ func (p *PCU) SnapshotTo(w *snap.Writer) {
 	w.I64(p.Executed)
 }
 
-// RestoreFrom loads PCU state saved by SnapshotTo.
+// RestoreFrom loads PCU state saved by SnapshotTo. The target PCU must
+// be quiescent: an in-flight PEI or a parked waiter would resume
+// against the restored port horizons.
 func (p *PCU) RestoreFrom(r *snap.Reader) {
 	r.Section("PCU ")
+	if p.inFlight != 0 || p.waitHead < len(p.waitQ) {
+		r.Fail(fmt.Errorf("%w: restore target PCU has %d in-flight PEIs and %d waiters",
+			snap.ErrNotQuiescent, p.inFlight, len(p.waitQ)-p.waitHead))
+		return
+	}
 	ports := r.Int()
 	if r.Err() != nil {
 		return

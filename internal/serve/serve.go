@@ -81,7 +81,7 @@ func (o Options) withDefaults() Options {
 		o.now = time.Now //peilint:allow simdeterm injectable wall clock for job timestamps; tests override Options.now
 	}
 	if o.runJob == nil {
-		o.runJob = pei.RunJob
+		o.runJob = pei.RunJob //peilint:allow simdeterm injectable job runner; RunJob's only wall-clock read touches snapshot-store LRU mtimes, job output stays deterministic
 	}
 	return o
 }

@@ -92,12 +92,12 @@ type PDES struct {
 	// read it (via inbox posts) during an epoch; the coordinator writes
 	// it only between epochs, with the barrier providing the necessary
 	// happens-before edges.
-	horizon Cycle
+	horizon Cycle //peilint:allow snapcomplete zeroed by RestoreFrom and recomputed at the top of every epoch
 	workers int
 
-	active []*Partition // scratch: partitions with work this epoch
+	active []*Partition //peilint:allow snapcomplete per-epoch scratch; no epoch runs across a quiescent boundary
 	next   atomic.Int64 // work-stealing cursor over active
-	limit  Cycle        // inclusive epoch limit, read by workers
+	limit  Cycle        //peilint:allow snapcomplete per-epoch bound derived from horizon; dead between epochs
 	wg     sync.WaitGroup
 }
 

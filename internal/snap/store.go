@@ -29,11 +29,11 @@ var blobName = regexp.MustCompile(`^([0-9a-f]+)-p(\d+)-c(\d+)\.snap$`)
 // StoreStats is a point-in-time snapshot of the store's counters, the
 // shape Prometheus gauges and the harness's warm-start report consume.
 type StoreStats struct {
-	Hits, Misses  int64
-	BytesWritten  int64
-	Evictions     int64
-	Entries       int
-	Bytes         int64
+	Hits, Misses int64
+	BytesWritten int64
+	Evictions    int64
+	Entries      int
+	Bytes        int64
 }
 
 // Store is a filesystem-backed, content-addressed snapshot blob store

@@ -51,13 +51,13 @@ var (
 // barrier, if any); workloads with host-side PEI accumulators hook
 // snapExtra/restoreExtra to carry them across the boundary.
 type phaseCtl struct {
-	totalRounds int
+	totalRounds int //peilint:allow snapcomplete workload configuration, re-established by initPhases when the streams are rebuilt before any restore
 	barrier     *cpu.Barrier
 	drivers     []*roundDriver
 	// snapExtra/restoreExtra serialize workload-specific host state
 	// (e.g. hashjoin's match counter, histogram's per-thread bins).
-	snapExtra    func(w *snap.Writer)
-	restoreExtra func(r *snap.Reader)
+	snapExtra    func(w *snap.Writer) //peilint:allow snapcomplete code hook reinstalled by Streams; the state it serializes lives in the workload
+	restoreExtra func(r *snap.Reader) //peilint:allow snapcomplete code hook reinstalled by Streams; the state it loads lives in the workload
 }
 
 // initPhases resets phase bookkeeping for a (re)build of the streams.
