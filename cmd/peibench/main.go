@@ -92,6 +92,14 @@ func main() {
 		return
 	}
 
+	// A snapshot directory starting with "-" is virtually always a
+	// swallowed flag (`-snapshot-dir -out x` makes "-out" the directory
+	// value); refuse it instead of littering the tree with a dash-path.
+	if strings.HasPrefix(*snapDir, "-") {
+		fmt.Fprintf(os.Stderr, "peibench: -snapshot-dir %q looks like a flag, not a directory (missing value?)\n", *snapDir)
+		os.Exit(2)
+	}
+
 	opts := pei.DefaultReproduceOptions()
 	opts.Scale = *scale
 	opts.OpBudget = *budget
@@ -172,6 +180,7 @@ type benchSnapshot struct {
 	GoVersion     string          `json:"go_version"`
 	Headline      benchHeadline   `json:"headline"`
 	Snapshots     *benchSnapshots `json:"snapshots,omitempty"`
+	PDES          *benchPDES      `json:"pdes,omitempty"`
 }
 
 type benchHeadline struct {
@@ -188,6 +197,17 @@ type benchSnapshots struct {
 	BytesWritten    int64 `json:"bytes_written"`
 	CyclesSimulated int64 `json:"cycles_simulated"`
 	CyclesSkipped   int64 `json:"cycles_skipped"`
+}
+
+// benchPDES is the parallel-kernel protocol section, present only when
+// the run executed epochs under -kernel pdes: how much protocol work
+// the conservative kernel did, summed over every simulation in the run.
+type benchPDES struct {
+	Epochs          int64 `json:"epochs"`
+	SoloSprints     int64 `json:"solo_sprints"`
+	PartsSkipped    int64 `json:"parts_skipped"`
+	MailSlotsMerged int64 `json:"mail_slots_merged"`
+	MailPostsMerged int64 `json:"mail_posts_merged"`
 }
 
 // writeBenchJSON records the run as a single-iteration benchmark: the
@@ -218,6 +238,15 @@ func writeBenchJSON(path, exp string, scale int, budget int64, kernel string, kw
 			BytesWritten:    report.Store.BytesWritten,
 			CyclesSimulated: report.CyclesSimulated,
 			CyclesSkipped:   report.CyclesSkipped,
+		}
+	}
+	if report.PDES.Epochs > 0 {
+		snap.PDES = &benchPDES{
+			Epochs:          report.PDES.Epochs,
+			SoloSprints:     report.PDES.SoloSprints,
+			PartsSkipped:    report.PDES.PartsSkipped,
+			MailSlotsMerged: report.PDES.MailSlotsMerged,
+			MailPostsMerged: report.PDES.MailPostsMerged,
 		}
 	}
 	buf, err := json.MarshalIndent(&snap, "", "  ")

@@ -45,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -83,6 +84,14 @@ func main() {
 
 	var snaps *pei.SnapshotStore
 	if *snapshotDir != "" {
+		// A directory starting with "-" is virtually always a swallowed
+		// flag (`-snapshot-dir -snapshot-mb 512` makes "-snapshot-mb" the
+		// directory value), and silently creating it litters the working
+		// tree with un-globbable paths. Refuse it.
+		if strings.HasPrefix(*snapshotDir, "-") {
+			fmt.Fprintf(os.Stderr, "peiserved: -snapshot-dir %q looks like a flag, not a directory (missing value?)\n", *snapshotDir)
+			os.Exit(2)
+		}
 		var err error
 		if snaps, err = pei.OpenSnapshotStore(*snapshotDir, *snapshotMB<<20); err != nil {
 			fmt.Fprintln(os.Stderr, "peiserved:", err)

@@ -312,7 +312,12 @@ func (r *Runner) runPair(ctx context.Context, w1 string, s1 workloads.Size, w2 s
 		return machine.Result{}, err
 	}
 	streams := append(a.Streams(m), b.Streams(m)...)
-	return m.RunContext(ctx, streams)
+	res, err := m.RunContext(ctx, streams)
+	if err == nil {
+		r.recordProto(m)
+	}
+	m.Release()
+	return res, err
 }
 
 // Fig10 reproduces Figure 10: speedup of balanced dispatch (§7.4) on

@@ -315,6 +315,14 @@ type Runner struct {
 	storeErr        error
 	cyclesSimulated atomic.Int64
 	cyclesSkipped   atomic.Int64
+
+	// PDES protocol ledger (SnapshotReport.PDES): engine counters folded
+	// in from every machine this runner completed under -kernel pdes.
+	pdesEpochs      atomic.Int64
+	pdesSprints     atomic.Int64
+	pdesSkipped     atomic.Int64
+	pdesSlotsMerged atomic.Int64
+	pdesPostsMerged atomic.Int64
 }
 
 // NewRunner creates a runner with normalized options.
@@ -423,8 +431,24 @@ func (r *Runner) runWorkload(ctx context.Context, name string, p workloads.Param
 	res, err := m.RunContext(ctx, w.Streams(m))
 	if err == nil {
 		cycles = int64(res.Cycles)
+		r.recordProto(m)
 	}
+	m.Release()
 	return res, err
+}
+
+// recordProto folds a finished machine's PDES protocol counters into the
+// runner's ledger (no-op under the sequential kernel).
+func (r *Runner) recordProto(m *machine.Machine) {
+	ps, ok := m.KernelProtoStats()
+	if !ok {
+		return
+	}
+	r.pdesEpochs.Add(int64(ps.Epochs))
+	r.pdesSprints.Add(int64(ps.SoloSprints))
+	r.pdesSkipped.Add(int64(ps.PartsSkipped))
+	r.pdesSlotsMerged.Add(int64(ps.MailSlotsMerged))
+	r.pdesPostsMerged.Add(int64(ps.MailPostsMerged))
 }
 
 // runGraphWorkload runs a graph workload on a specific named dataset.

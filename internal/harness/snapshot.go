@@ -57,6 +57,22 @@ type SnapshotReport struct {
 	// CyclesSkipped is the total cycles warm starts did not re-simulate
 	// (each resumed cell contributes its restore cycle).
 	CyclesSkipped int64
+	// PDES aggregates the parallel kernel's protocol counters across
+	// every simulation this runner completed (all zero under -kernel
+	// seq). Unlike the rest of the report it is populated whether or not
+	// snapshots are enabled.
+	PDES PDESReport
+}
+
+// PDESReport is the runner-wide sum of sim.ProtoStats: how much
+// protocol work (epochs, solo sprints, partition skips, mailbox merges)
+// the conservative-PDES kernel did across all simulations.
+type PDESReport struct {
+	Epochs          int64
+	SoloSprints     int64
+	PartsSkipped    int64
+	MailSlotsMerged int64
+	MailPostsMerged int64
 }
 
 // SnapshotReport returns the warm-start summary (zero value when
@@ -65,6 +81,13 @@ func (r *Runner) SnapshotReport() SnapshotReport {
 	rep := SnapshotReport{
 		CyclesSimulated: r.cyclesSimulated.Load(),
 		CyclesSkipped:   r.cyclesSkipped.Load(),
+		PDES: PDESReport{
+			Epochs:          r.pdesEpochs.Load(),
+			SoloSprints:     r.pdesSprints.Load(),
+			PartsSkipped:    r.pdesSkipped.Load(),
+			MailSlotsMerged: r.pdesSlotsMerged.Load(),
+			MailPostsMerged: r.pdesPostsMerged.Load(),
+		},
 	}
 	r.snapMu.Lock()
 	if r.store != nil {
@@ -189,6 +212,7 @@ func (r *Runner) runPhased(ctx context.Context, cfg *config.Config, name string,
 		return machine.Result{}, 0, err
 	}
 	res := m.Finish()
+	r.recordProto(m)
 	r.cyclesSimulated.Add(int64(res.Cycles) - startCycle)
 	r.cyclesSkipped.Add(startCycle)
 	if verify {
@@ -196,5 +220,6 @@ func (r *Runner) runPhased(ctx context.Context, cfg *config.Config, name string,
 			return res, 0, err
 		}
 	}
+	m.Release()
 	return res, int64(res.Cycles) - startCycle, nil
 }

@@ -85,6 +85,11 @@ type Machine struct {
 	pdes   *sim.PDES
 	shards []*stats.Registry
 
+	// proto holds the final PDES protocol counters after collect has
+	// recycled the ensemble; protoOK marks that this machine ran pdes.
+	proto   sim.ProtoStats
+	protoOK bool
+
 	// vml is the virtual-memory layer when EnableVM is set; retained so
 	// snapshots can reach the page table and TLBs.
 	vml *vmLayer
@@ -296,6 +301,37 @@ func (m *Machine) Drive(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// KernelProtoStats reports the parallel kernel's protocol counters
+// (epochs, solo sprints, partitions skipped, mailbox merges). ok is
+// false under the sequential kernel. The counters deliberately bypass
+// the stats registry: they describe engine work, not simulated
+// behavior, and Results must stay byte-identical across kernels.
+// It remains valid after Release, which banks the counters before
+// recycling the ensemble.
+func (m *Machine) KernelProtoStats() (sim.ProtoStats, bool) {
+	if m.pdes != nil {
+		return m.pdes.Proto(), true
+	}
+	return m.proto, m.protoOK
+}
+
+// Release hands the machine's parallel-kernel ensemble — whose warmed
+// calendar rings are the expensive part of building the next machine —
+// back to the sim recycle pool. Call it only when completely done with
+// the machine (after Finish and any post-run inspection): the kernel
+// references are severed, so no component may schedule or read clocks
+// afterwards. Safe to call multiple times and a no-op on the sequential
+// kernel or when events are still pending.
+func (m *Machine) Release() {
+	if m.pdes == nil {
+		return
+	}
+	m.proto, m.protoOK = m.pdes.Proto(), true
+	m.pdes.Recycle()
+	m.pdes = nil
+	m.K = nil
 }
 
 // CheckDone verifies every armed core retired its whole stream; a core

@@ -70,11 +70,20 @@ func Call(fn func()) Cont {
 // The kernel is a calendar queue: a ring of per-cycle FIFO buckets
 // covering the next ringWindow cycles, plus a min-heap overflow for
 // events farther out. Nearly all simulator events (cache pipelines, link
-// serialization, DRAM timing) land within a few thousand cycles of now,
-// so the steady state is bucket appends and pops — no interface boxing,
-// no per-event allocation, O(1) amortized ordering.
+// serialization, DRAM timing) land within ~100 cycles of now, so the
+// steady state is bucket appends and pops — no interface boxing, no
+// per-event allocation, O(1) amortized ordering.
+//
+// The ring is deliberately small. Its footprint is what the dispatch
+// loop walks continuously, and a PDES ensemble keeps nparts rings live
+// at once: at 1<<12 cycles (the original size) one ring was ≈230 KiB
+// and a 33-partition ensemble blew every cache level (≈7.6 MiB), which
+// measured as a double-digit slowdown on both kernels. 1<<7 covers the
+// cross-partition link latency and full DRAM bank timing chains;
+// rarer far-out events (refresh, phase boundaries) take the heap path,
+// whose cost is dwarfed by the locality win (BENCH_pdes2.json).
 const (
-	ringWindow = 1 << 12 // cycles of near future covered by the ring
+	ringWindow = 1 << 7 // cycles of near future covered by the ring
 	ringMask   = ringWindow - 1
 	occWords   = ringWindow / 64
 )
@@ -354,18 +363,27 @@ func (k *Kernel) RunUntil(limit Cycle) {
 // time; the PDES epoch loop depends on that, because a partition's clock
 // must track the events it actually processed so the global minimum
 // (which bounds the next epoch window) stays exact.
-func (k *Kernel) RunUpTo(limit Cycle) {
+//
+// It returns the cycle of the earliest event still pending, or -1 if the
+// queue drained. The loop's exit paths have already computed it (the
+// over-limit ring scan or the far-heap head), so returning it is free —
+// and it is what lets the PDES epoch protocol skip re-peeking partitions
+// it just ran.
+func (k *Kernel) RunUpTo(limit Cycle) Cycle {
 	for {
 		if k.ringCount == 0 {
-			if len(k.far) == 0 || k.far[0].when > limit {
-				return
+			if len(k.far) == 0 {
+				return -1
+			}
+			if k.far[0].when > limit {
+				return k.far[0].when
 			}
 			k.base = k.far[0].when
 			k.migrate()
 		}
 		c := k.nextRingCycle()
 		if c > limit {
-			return
+			return c
 		}
 		if c != k.base {
 			k.base = c

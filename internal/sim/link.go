@@ -66,7 +66,7 @@ func (l *Link) SendEvent(bytes int, h Handler, arg EventArg) Cycle {
 // posted to sink at the delivery cycle. When the receiver lives in
 // another PDES partition the sink is that partition's mailbox; the link
 // latency then doubles as the synchronization lookahead, so delivery
-// always lands at or beyond the receiving partition's epoch horizon.
+// always lands at least a full window past the sender's clock.
 func (l *Link) SendEventTo(sink EventSink, bytes int, h Handler, arg EventArg) Cycle {
 	if bytes <= 0 {
 		bytes = 1

@@ -21,6 +21,16 @@
 // never on goroutine interleaving: results are bit-identical for any
 // worker count, including 1.
 //
+// Three fast paths keep the protocol's per-epoch cost near the
+// sequential kernel's (DESIGN.md §12, BENCH_pdes2.json): a persistent
+// worker gang parked on an epoch-generation barrier instead of per-epoch
+// goroutine spawns, a dirty-slot mailbox drain that touches only
+// non-empty mailboxes instead of scanning all P² slots, and per-partition
+// epoch limits that let the globally earliest partition run past the
+// fixed lookahead window — all the way past every idle partition when it
+// is alone (a solo sprint) — until its first cross-partition post pulls
+// its limit back in.
+//
 // This file is the only place in the simulator where goroutines and
 // synchronization primitives are allowed (peilint's partsafe analyzer
 // enforces that); component code stays single-threaded and identical
@@ -30,6 +40,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -58,55 +70,158 @@ type post struct {
 
 // inbox is the EventSink for one (source, destination) partition pair.
 // Only the source partition's goroutine appends during an epoch; the
-// coordinator drains it at the barrier.
+// coordinator drains it at the barrier. src and key are precomputed at
+// construction: src indexes the per-source dirty list (written only by
+// the source's goroutine, so dirty tracking stays race-free) and key is
+// the (destination, source) drain-order index dst*nparts+src.
 type inbox struct {
 	pd   *PDES
 	slot int
+	src  int
+	key  int32
 }
 
 // PostEvent queues a cross-partition event. The conservative protocol is
-// only sound if every post lands at or beyond the current epoch horizon
-// — the receiver may already have executed events up to horizon-1 — so a
-// nearer post is a hard modeling error (a component communicated across
-// partitions with less than the lookahead latency) and panics rather
-// than silently corrupting causality.
+// only sound if every post spans at least the lookahead window from the
+// sender's own clock — a nearer post is a hard modeling error (a
+// component communicated across partitions with less than the lookahead
+// latency) and panics rather than silently corrupting causality.
+//
+// A post also shrinks the sender's own epoch limit: the receiver can
+// react no sooner than cycle+window, so a sender running past the fixed
+// window on an extended limit (see Epoch) must stop at cycle+window-1
+// and let the next barrier deliver the mail. Only the sender's slot is
+// written, from the sender's own goroutine, so the shrink is race-free.
 func (ib *inbox) PostEvent(cycle Cycle, h Handler, arg EventArg) {
 	pd := ib.pd
-	if cycle < pd.horizon {
-		panic(fmt.Sprintf("sim: pdes lookahead violation: post at cycle %d before epoch horizon %d", cycle, pd.horizon))
+	if now := pd.parts[ib.src].Now(); cycle < now+pd.window {
+		panic(fmt.Sprintf("sim: pdes lookahead violation: post at cycle %d from partition %d at cycle %d (window %d)", cycle, ib.src, now, pd.window))
 	}
-	pd.mail[ib.slot] = append(pd.mail[ib.slot], post{cycle: cycle, h: h, arg: arg})
+	if lim := cycle + pd.window - 1; lim < pd.limits[ib.src] {
+		pd.limits[ib.src] = lim
+	}
+	m := pd.mail[ib.slot]
+	if len(m) == 0 {
+		pd.dirty[ib.src] = append(pd.dirty[ib.src], ib.key)
+	}
+	pd.mail[ib.slot] = append(m, post{cycle: cycle, h: h, arg: arg})
 }
 
+// ProtoStats counts the PDES protocol's own work. These are engine
+// diagnostics, not simulated state: they deliberately live outside the
+// stats.Registry so a pdes run's Result (counters included) stays
+// byte-identical to a sequential run's. machine surfaces them through
+// KernelProtoStats and peibench records them in -benchjson snapshots.
+type ProtoStats struct {
+	// Epochs is the number of barrier-synchronized windows run,
+	// including solo sprints.
+	Epochs uint64
+	// SoloSprints counts epochs with exactly one active partition,
+	// which then runs on an unbounded (or next-waker-bounded) limit
+	// until its first cross-partition post.
+	SoloSprints uint64
+	// PartsSkipped accumulates partitions with no work inside the
+	// epoch's window, summed over epochs: the protocol never woke them.
+	PartsSkipped uint64
+	// MailSlotsMerged counts non-empty (source, destination) mailboxes
+	// drained at barriers; the dirty-slot drain touches only these, so
+	// MailSlotsMerged/Epochs ≪ P² is the saving over a full scan.
+	MailSlotsMerged uint64
+	// MailPostsMerged counts cross-partition events merged.
+	MailPostsMerged uint64
+}
+
+// gang is the persistent epoch-worker pool: workers-1 long-lived
+// goroutines parked on a generation-counter barrier. The coordinator
+// releases an epoch by bumping gen under mu and broadcasting; each
+// worker participates exactly once per generation (a worker that missed
+// the broadcast still sees the bumped counter), claims partitions off
+// the shared cursor, and reports completion on done. stop is only set
+// between epochs, so workers are always parked or draining an already
+// counted epoch when asked to exit.
+type gang struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	gen  uint64
+	stop bool
+	n    int            // live worker goroutines (0 = gang not running)
+	join sync.WaitGroup // worker exit, for stopGang
+	done sync.WaitGroup // per-epoch completion barrier
+}
+
+// runBatch bounds the events one partition may dispatch per Epoch call.
+// A solo partition with a self-perpetuating event chain would otherwise
+// turn one sprint epoch into an unbounded run, making Run's per-epoch
+// cancellation check worthless; breaking after a fixed dispatch count is
+// deterministic (the next epoch resumes the same run) and keeps
+// cancellation latency bounded by nparts×runBatch dispatches.
+const runBatch = 1 << 16
+
 // PDES is a conservative parallel discrete-event kernel: a fixed set of
-// partitions advanced in lookahead-bounded epochs by a pool of worker
-// goroutines. Construct with NewPDES, wire components against the
-// partitions' Schedulers and the Sink mailboxes, then call Run.
+// partitions advanced in lookahead-bounded epochs by a persistent pool
+// of worker goroutines. Construct with NewPDES, wire components against
+// the partitions' Schedulers and the Sink mailboxes, then call Run.
 type PDES struct {
 	window  Cycle
 	parts   []*Partition
 	inboxes []inbox
 	mail    [][]post // [src*len(parts)+dst]; written only by src's goroutine
 
-	// horizon is the exclusive upper bound of the running epoch. Workers
-	// read it (via inbox posts) during an epoch; the coordinator writes
-	// it only between epochs, with the barrier providing the necessary
-	// happens-before edges.
-	horizon Cycle //peilint:allow snapcomplete zeroed by RestoreFrom and recomputed at the top of every epoch
+	// dirty[src] lists the drain keys (dst*nparts+src) of mailboxes that
+	// went empty→non-empty this epoch; appended only by src's goroutine
+	// at post time, consumed by the coordinator at the barrier.
+	dirty [][]int32 //peilint:allow snapcomplete per-epoch scratch; every barrier drains it and snapshots require quiescence
+	// mergeBits is the coordinator's drain bitmap, indexed by drain key,
+	// so merging visits dirty slots in (destination, source) order
+	// without sorting. Coordinator-only.
+	mergeBits []uint64 //peilint:allow snapcomplete coordinator scratch, all-zero between epochs
+
 	workers int
 
 	active []*Partition //peilint:allow snapcomplete per-epoch scratch; no epoch runs across a quiescent boundary
-	next   atomic.Int64 // work-stealing cursor over active
-	limit  Cycle        //peilint:allow snapcomplete per-epoch bound derived from horizon; dead between epochs
-	wg     sync.WaitGroup
+	// nexts memoizes each partition's next pending cycle (-1 = empty);
+	// stale marks entries to re-peek. A partition's queue only changes
+	// when it runs or receives mail, so each epoch re-peeks only those.
+	nexts []Cycle //peilint:allow snapcomplete memoized peek cache, re-derived whenever stale
+	stale []bool  //peilint:allow snapcomplete all-true after RestoreFrom and at Run entry; forces re-peek
+	next  atomic.Int64
+
+	// limits[i] is partition i's inclusive epoch bound: the earliest
+	// other pending cycle plus window-1 (math.MaxInt64 for a partition
+	// alone in the system). The coordinator writes it at the barrier;
+	// during the epoch only partition i's own goroutine touches it (posts
+	// shrink it, the run loop reads it), so no synchronization is needed
+	// beyond the barrier itself.
+	limits []Cycle //peilint:allow snapcomplete per-epoch bounds recomputed at the top of every epoch; dead between epochs
+
+	gang gang
+
+	proto ProtoStats //peilint:allow snapcomplete engine diagnostics, not simulated state (Results stay kernel-identical)
 }
+
+// pdesPool recycles whole quiescent ensembles from one machine to the
+// next. An ensemble is heavy to cold-start — nparts calendar rings plus
+// every ring bucket's event slice grown from nil, the latter being the
+// bulk of it — and sweep harnesses build hundreds of short-lived
+// machines, so reuse converts the dominant per-machine allocation burst
+// into a handful of scalar resets while keeping bucket capacities warm.
+// Capacity never affects dispatch order (buckets are index-FIFO, the far
+// heap is empty at quiescence), so a recycled ensemble is behaviorally
+// identical to a fresh one.
+var pdesPool sync.Pool
 
 // NewPDES creates an ensemble of nparts partitions with the given
 // lookahead window (the minimum cross-partition event latency, in
 // cycles) and worker goroutine count. window must be at least 1: a
 // zero-lookahead topology has no causally independent events to run
 // concurrently. workers is clamped to at least 1; workers == 1 runs the
-// identical epoch protocol inline with no goroutines at all.
+// identical epoch protocol inline with no goroutines at all. With
+// workers > 1 the coordinator itself works each epoch alongside a gang
+// of workers-1 persistent goroutines, started on first use and joined
+// when Run returns (or at Close).
+//
+// The ensemble may come from the recycle pool (see Recycle); a pooled
+// ensemble of the wrong shape is discarded, not adapted.
 func NewPDES(window Cycle, nparts, workers int) *PDES {
 	if window < 1 {
 		panic("sim: pdes lookahead window must be >= 1")
@@ -117,19 +232,70 @@ func NewPDES(window Cycle, nparts, workers int) *PDES {
 	if workers < 1 {
 		workers = 1
 	}
-	pd := &PDES{
-		window:  window,
-		workers: workers,
-		inboxes: make([]inbox, nparts*nparts),
-		mail:    make([][]post, nparts*nparts),
+	if v := pdesPool.Get(); v != nil {
+		if pd := v.(*PDES); pd.window == window && len(pd.parts) == nparts && pd.workers == workers {
+			pd.resetForReuse()
+			return pd
+		}
+		// Wrong shape: let the GC have it and build fresh.
 	}
+	pd := &PDES{
+		window:    window,
+		workers:   workers,
+		inboxes:   make([]inbox, nparts*nparts),
+		mail:      make([][]post, nparts*nparts),
+		dirty:     make([][]int32, nparts),
+		mergeBits: make([]uint64, (nparts*nparts+63)/64),
+		nexts:     make([]Cycle, nparts),
+		stale:     make([]bool, nparts),
+		limits:    make([]Cycle, nparts),
+	}
+	pd.gang.cond.L = &pd.gang.mu
 	for i := 0; i < nparts; i++ {
 		pd.parts = append(pd.parts, &Partition{pd: pd, id: i})
+		pd.stale[i] = true
 	}
 	for i := range pd.inboxes {
-		pd.inboxes[i] = inbox{pd: pd, slot: i}
+		src, dst := i/nparts, i%nparts
+		pd.inboxes[i] = inbox{pd: pd, slot: i, src: src, key: int32(dst*nparts + src)}
 	}
 	return pd
+}
+
+// resetForReuse rewinds a recycled quiescent ensemble to the state a
+// fresh NewPDES returns: clocks, dispatch accounting, protocol counters
+// and epoch scratch all zeroed. Queue storage is already empty (Recycle
+// requires quiescence, and dispatch/drain zero entries as they pop), so
+// only scalars move; the warmed bucket and heap capacities are the point
+// of pooling.
+func (pd *PDES) resetForReuse() {
+	for _, p := range pd.parts {
+		k := &p.Kernel
+		k.now, k.base = 0, 0
+		k.seq, k.Executed = 0, 0
+	}
+	pd.proto = ProtoStats{}
+	pd.active = pd.active[:0]
+	pd.next.Store(0)
+	for i := range pd.stale {
+		pd.stale[i] = true
+		pd.nexts[i] = 0
+		pd.limits[i] = 0
+	}
+}
+
+// Recycle returns a finished ensemble to the package pool for the next
+// NewPDES of the same shape. Only legal — and only useful — at
+// quiescence: with events still pending it is a no-op, leaving the
+// ensemble for the GC. The caller must drop every reference to the
+// ensemble and its partitions afterwards. The worker gang is joined
+// first, so pooled ensembles hold no goroutines.
+func (pd *PDES) Recycle() {
+	if pd.Pending() != 0 {
+		return
+	}
+	pd.stopGang()
+	pdesPool.Put(pd)
 }
 
 // Part returns partition i's scheduler.
@@ -141,6 +307,9 @@ func (pd *PDES) Part(i int) *Partition { return pd.parts[i] }
 func (pd *PDES) Sink(src, dst int) EventSink {
 	return &pd.inboxes[src*len(pd.parts)+dst]
 }
+
+// Proto returns the protocol counters accumulated so far.
+func (pd *PDES) Proto() ProtoStats { return pd.proto }
 
 // Pending reports queued events across all partitions, including
 // cross-partition posts not yet drained into their destination queues.
@@ -178,9 +347,18 @@ func (pd *PDES) MaxNow() Cycle {
 }
 
 // Run drives all partitions until every queue is empty. ctx is checked
-// once per epoch, so cancellation latency is one lookahead window's
-// worth of events.
+// once per epoch (partition runs are batched, so an epoch dispatches at
+// most nparts×runBatch events before the check). The persistent worker gang
+// is joined before Run returns, so an idle or abandoned ensemble holds
+// no goroutines; a later Run restarts it on demand.
 func (pd *PDES) Run(ctx context.Context) error {
+	// Events may have been scheduled into partitions since the last
+	// epoch ran — stream re-arming between phases, pre-run seeding — so
+	// every memoized peek is refreshed once per Run.
+	for i := range pd.stale {
+		pd.stale[i] = true
+	}
+	defer pd.stopGang()
 	done := ctx.Done()
 	for {
 		if done != nil {
@@ -196,102 +374,290 @@ func (pd *PDES) Run(ctx context.Context) error {
 	}
 }
 
+// Close joins the persistent worker gang, if running. The ensemble
+// stays usable — a later Run restarts the gang — so Close is only
+// needed by callers that drive Epoch directly and never call Run.
+func (pd *PDES) Close() { pd.stopGang() }
+
 // Epoch runs one barrier-synchronized window: drain mailbox posts from
 // the previous epoch (or pre-run seeding) into their destination
-// queues, find the global minimum pending cycle T, then execute every
-// partition's events in [T, T+window) concurrently. It reports whether
-// any work remained.
+// queues, find the global minimum pending cycle T, then execute the
+// active partitions (those with work in [T, T+window)) concurrently,
+// each up to its own limit. It reports whether any work remained.
+//
+// Limits are per partition: partition i may run through
+// min{next[j] : j≠i, j non-empty} + window - 1 — any event another
+// partition dispatches this epoch is at its own next-cycle or later, so
+// nothing it posts can land at or below that bound. For every active
+// partition except the global minimum, that bound equals the classic
+// T+window-1; the global-minimum partition gets the second-smallest
+// next-cycle as its base instead, letting the one partition that is
+// ahead of the pack (typically the host during compute phases) run on
+// without extra barriers. Alone in the system, its limit is unbounded —
+// the solo sprint. Either way the run stops early at c+window-1 after a
+// first cross-partition post at c, since the receiver may react at
+// c+window (posts shrink the sender's own limit; see inbox.PostEvent).
+//
+// Epoch memoizes each partition's next pending cycle between calls;
+// callers that schedule events into partitions outside Epoch (as Run's
+// re-arming contract allows) must go through Run, which invalidates the
+// memo.
 func (pd *PDES) Epoch() bool {
 	pd.drainMail()
-	// Global minimum pending cycle and the epoch's active set. A
-	// partition whose next event is beyond the horizon has nothing to do
-	// this epoch and is skipped entirely.
-	var t Cycle
-	found := false
-	for _, p := range pd.parts {
-		if c, ok := p.peek(); ok && (!found || c < t) {
-			t, found = c, true
+	// One fused pass: refresh the memoized next-cycle of every
+	// partition whose queue changed last epoch (it ran, or mail was
+	// merged into it) and track the two smallest pending cycles.
+	min1, min2 := Cycle(-1), Cycle(-1)
+	arg1 := -1
+	for i, p := range pd.parts {
+		if pd.stale[i] {
+			if c, ok := p.peek(); ok {
+				pd.nexts[i] = c
+			} else {
+				pd.nexts[i] = -1
+			}
+			pd.stale[i] = false
+		}
+		c := pd.nexts[i]
+		if c < 0 {
+			continue
+		}
+		if min1 < 0 || c < min1 {
+			min2 = min1
+			min1, arg1 = c, i
+		} else if min2 < 0 || c < min2 {
+			min2 = c
 		}
 	}
-	if !found {
+	if arg1 < 0 {
 		return false
 	}
-	pd.horizon = t + pd.window
-	limit := pd.horizon - 1
+	pd.proto.Epochs++
+	limit := min1 + pd.window - 1
 	pd.active = pd.active[:0]
-	for _, p := range pd.parts {
-		if c, ok := p.peek(); ok && c <= limit {
+	for i, p := range pd.parts {
+		c := pd.nexts[i]
+		if c < 0 {
+			continue
+		}
+		if c <= limit {
+			// No stale mark: running a partition refreshes its memoized
+			// next-cycle for free (runPart stores it).
+			pd.limits[i] = limit
 			pd.active = append(pd.active, p)
 		}
 	}
-
-	pd.runActive(limit)
+	// The global minimum's extended limit: second-smallest next-cycle
+	// plus window-1 (every ties-at-min1 partition lands in min2, so ties
+	// correctly pin this to min1+window-1), unbounded when no other
+	// partition has work at all.
+	if min2 >= 0 {
+		pd.limits[arg1] = min2 + pd.window - 1
+	} else {
+		pd.limits[arg1] = Cycle(math.MaxInt64)
+	}
+	pd.proto.PartsSkipped += uint64(len(pd.parts) - len(pd.active))
+	if len(pd.active) == 1 {
+		pd.proto.SoloSprints++
+		pd.runPart(pd.active[0])
+		return true
+	}
+	pd.runActive()
 	return true
 }
 
-// runActive executes this epoch's active partitions up to limit,
-// inline for one worker (or one active partition), otherwise on worker
-// goroutines claiming partitions off a shared cursor.
-func (pd *PDES) runActive(limit Cycle) {
-	if pd.workers == 1 || len(pd.active) == 1 {
+// runPart executes one partition's events through its epoch limit —
+// re-read every iteration, since the partition's own posts shrink it —
+// and stores the next pending cycle (or -1) into the memo. Exactly one
+// goroutine owns a given partition per epoch, so the limit and memo
+// slots need no synchronization beyond the epoch barrier. The loop is
+// Kernel.Run's dispatch loop with the limit check inline; it stops when
+// the queue drains, the next event lies beyond the limit, or the batch
+// budget runs out (then the memo is marked stale instead, and the next
+// epoch resumes the same run).
+func (pd *PDES) runPart(p *Partition) {
+	k := &p.Kernel
+	next := Cycle(-1)
+	for budget := runBatch; ; budget-- {
+		if budget == 0 {
+			pd.stale[p.id] = true
+			return
+		}
+		if k.ringCount == 0 {
+			if len(k.far) == 0 {
+				break
+			}
+			if k.far[0].when > pd.limits[p.id] {
+				next = k.far[0].when
+				break
+			}
+			k.base = k.far[0].when
+			k.migrate()
+		}
+		c := k.nextRingCycle()
+		if c > pd.limits[p.id] {
+			next = c
+			break
+		}
+		if c != k.base {
+			k.base = c
+			k.migrate()
+		}
+		k.dispatch(c)
+	}
+	pd.nexts[p.id] = next
+}
+
+// runActive executes this epoch's active partitions, each up to its own
+// limit: inline for one worker, otherwise on the persistent gang plus
+// the coordinator itself, all claiming partitions off the shared cursor.
+func (pd *PDES) runActive() {
+	if pd.workers == 1 {
 		for _, p := range pd.active {
-			p.RunUpTo(limit)
+			pd.runPart(p)
 		}
 		return
 	}
-	w := pd.workers
-	if w > len(pd.active) {
-		w = len(pd.active)
-	}
-	pd.limit = limit
+	pd.startGang()
+	g := &pd.gang
 	pd.next.Store(0)
-	pd.wg.Add(w)
-	for i := 0; i < w; i++ {
-		go pd.work()
-	}
-	pd.wg.Wait()
-}
-
-// work is one epoch worker: claim active partitions off the shared
-// cursor until none remain. It is a method rather than a closure so
-// spawning it captures no per-epoch environment.
-func (pd *PDES) work() {
-	defer pd.wg.Done()
-	limit := pd.limit
+	g.done.Add(g.n)
+	g.mu.Lock()
+	g.gen++
+	g.mu.Unlock()
+	g.cond.Broadcast()
 	for {
 		i := pd.next.Add(1) - 1
 		if i >= int64(len(pd.active)) {
-			return
+			break
 		}
-		pd.active[i].RunUpTo(limit)
+		pd.runPart(pd.active[i])
+	}
+	g.done.Wait()
+}
+
+// startGang launches the persistent worker goroutines if they are not
+// already running. Gang size is workers-1 (the coordinator works too),
+// capped at nparts-1 since extra workers could never claim a partition.
+func (pd *PDES) startGang() {
+	g := &pd.gang
+	if g.n > 0 {
+		return
+	}
+	n := pd.workers - 1
+	if m := len(pd.parts) - 1; n > m {
+		n = m
+	}
+	if n <= 0 {
+		return
+	}
+	g.stop = false
+	g.n = n
+	g.join.Add(n)
+	for i := 0; i < n; i++ {
+		go pd.gangWorker()
 	}
 }
 
-// drainMail merges every mailbox into its destination queue. The drain
-// order — destinations ascending, then sources ascending, then post
-// order within a source — is fixed, and calendar buckets are FIFO, so
-// same-cycle cross-partition events always land in the same relative
-// order regardless of how worker goroutines interleaved during the
-// epoch. This is the deterministic (cycle, source, sequence) merge rule.
+// stopGang asks the gang to exit and joins it. Must only be called
+// between epochs (every worker parked or about to park).
+func (pd *PDES) stopGang() {
+	g := &pd.gang
+	if g.n == 0 {
+		return
+	}
+	g.mu.Lock()
+	g.stop = true
+	g.mu.Unlock()
+	g.cond.Broadcast()
+	g.join.Wait()
+	g.n = 0
+}
+
+// gangWorker is one persistent epoch worker: park until the generation
+// counter moves, claim active partitions off the shared cursor until
+// none remain, report completion, repeat. The generation counter — not
+// the broadcast — is what admits a worker to an epoch, so a worker that
+// was still finishing the previous epoch when the next was released
+// joins it without a wakeup.
+func (pd *PDES) gangWorker() {
+	g := &pd.gang
+	var gen uint64
+	for {
+		g.mu.Lock()
+		for g.gen == gen && !g.stop {
+			g.cond.Wait()
+		}
+		stop := g.stop
+		gen = g.gen
+		g.mu.Unlock()
+		if stop {
+			g.join.Done()
+			return
+		}
+		for {
+			i := pd.next.Add(1) - 1
+			if i >= int64(len(pd.active)) {
+				break
+			}
+			// Each claimed partition's limit and memo slots are touched
+			// by exactly one goroutine this epoch; the done barrier
+			// publishes them to the coordinator.
+			pd.runPart(pd.active[i])
+		}
+		g.done.Done()
+	}
+}
+
+// drainMail merges every non-empty mailbox into its destination queue.
+// Dirty slots — recorded per source at post time, by the slot's single
+// writer — are gathered into a bitmap indexed by (destination, source),
+// so the drain visits only mailboxes that hold posts, in the fixed
+// (destination ascending, source ascending, post order) sequence of the
+// deterministic merge rule; calendar buckets are FIFO, so same-cycle
+// cross-partition events always land in the same relative order
+// regardless of how worker goroutines interleaved during the epoch.
 // Posts land in the destination's early lane (AtEventEarly), the same
 // lane the sequential kernel uses for link deliveries, so a drained
 // arrival keeps its arrivals-before-locals position against events the
 // destination schedules for the same cycle during its own epoch.
 func (pd *PDES) drainMail() {
 	n := len(pd.parts)
-	for dst := 0; dst < n; dst++ {
-		dk := &pd.parts[dst].Kernel
-		for src := 0; src < n; src++ {
+	dirty := false
+	for src := range pd.dirty {
+		dl := pd.dirty[src]
+		if len(dl) == 0 {
+			continue
+		}
+		dirty = true
+		for _, key := range dl {
+			pd.mergeBits[key>>6] |= 1 << (uint(key) & 63)
+		}
+		pd.dirty[src] = dl[:0]
+	}
+	if !dirty {
+		return
+	}
+	for w, word := range pd.mergeBits {
+		if word == 0 {
+			continue
+		}
+		pd.mergeBits[w] = 0
+		base := w << 6
+		for ; word != 0; word &= word - 1 {
+			key := base + bits.TrailingZeros64(word)
+			dst, src := key/n, key%n
 			slot := src*n + dst
 			m := pd.mail[slot]
-			if len(m) == 0 {
-				continue
-			}
+			dk := &pd.parts[dst].Kernel
 			for i := range m {
 				dk.AtEventEarly(m[i].cycle, m[i].h, m[i].arg)
 				m[i] = post{} // release handler/arg references
 			}
+			pd.proto.MailSlotsMerged++
+			pd.proto.MailPostsMerged += uint64(len(m))
 			pd.mail[slot] = m[:0]
+			pd.stale[dst] = true
 		}
 	}
 }

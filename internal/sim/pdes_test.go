@@ -173,3 +173,190 @@ func TestKernelRunUpTo(t *testing.T) {
 		t.Fatalf("now = %d, want 10", k.Now())
 	}
 }
+
+// farChain hops its own partition's clock in strides larger than the
+// calendar ring, so every reschedule takes the far-heap overflow path
+// and later migrates back into the ring — all while the ensemble's
+// epoch protocol (and its memoized peeks) advances around it.
+type farChain struct {
+	s    Scheduler
+	step Cycle
+	hops int64
+	out  *[]string
+}
+
+func (f *farChain) OnEvent(arg EventArg) {
+	*f.out = append(*f.out, fmt.Sprintf("far%d@%d", arg.N, f.s.Now()))
+	if arg.N < f.hops {
+		f.s.ScheduleEvent(f.step, f, EventArg{N: arg.N + 1})
+	}
+}
+
+// tickNode dispatches one local event per cycle until its budget runs
+// out, keeping its partition active in consecutive epochs.
+type tickNode struct {
+	s      Scheduler
+	budget int64
+	out    *[]string
+}
+
+func (tn *tickNode) OnEvent(arg EventArg) {
+	*tn.out = append(*tn.out, fmt.Sprintf("tick@%d", tn.s.Now()))
+	if arg.N < tn.budget {
+		tn.s.ScheduleEvent(1, tn, EventArg{N: arg.N + 1})
+	}
+}
+
+// TestPDESFarEventsAcrossEpochs pins the calendar overflow-heap path
+// from inside a PDES partition: far-future AtEvent/ScheduleEvent
+// targets beyond the 4096-cycle ring must migrate and dispatch exactly
+// as on the sequential kernel while epochs advance — including the
+// solo-sprint epochs that carry the ensemble across the multi-thousand
+// cycle gaps between far events.
+func TestPDESFarEventsAcrossEpochs(t *testing.T) {
+	const (
+		window = 8
+		step   = ringWindow + 1000 // strictly beyond the ring: far heap
+		hops   = 3
+		ticks  = 300
+	)
+	run := func(pd *PDES) (tick, far []string) {
+		var s0, s1 Scheduler
+		if pd != nil {
+			s0, s1 = pd.Part(0), pd.Part(1)
+		} else {
+			k := NewKernel()
+			s0, s1 = k, k
+		}
+		tn := &tickNode{s: s0, budget: ticks, out: &tick}
+		s0.AtEvent(0, tn, EventArg{})
+		fc := &farChain{s: s1, step: step, hops: hops, out: &far}
+		// Seed straight onto the far heap: the first event is already
+		// beyond the ring window.
+		s1.AtEvent(step, fc, EventArg{N: 1})
+		if pd != nil {
+			if err := pd.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if pd.Pending() != 0 {
+				t.Fatalf("%d events still pending", pd.Pending())
+			}
+		} else {
+			s0.(*Kernel).Run()
+		}
+		return tick, far
+	}
+
+	seqTick, seqFar := run(nil)
+	if len(seqFar) != hops {
+		t.Fatalf("sequential far chain ran %d hops, want %d", len(seqFar), hops)
+	}
+	for _, workers := range []int{1, 2} {
+		tick, far := run(NewPDES(window, 2, workers))
+		if fmt.Sprint(tick) != fmt.Sprint(seqTick) || fmt.Sprint(far) != fmt.Sprint(seqFar) {
+			t.Fatalf("workers=%d diverged from sequential:\n pdes %v %v\n  seq %v %v",
+				workers, tick, far, seqTick, seqFar)
+		}
+	}
+}
+
+// phaseNode models the shape solo sprints exist for: a long host-only
+// compute phase (a chain of back-to-back local events) followed by one
+// cross-partition handoff, ping-ponging between two partitions.
+type phaseNode struct {
+	s      Scheduler
+	link   *Link
+	sink   EventSink
+	peer   *phaseNode
+	chain  int64 // local events per compute phase
+	rounds int   // handoffs this node will still initiate
+	out    *[]string
+}
+
+func (p *phaseNode) OnEvent(arg EventArg) {
+	*p.out = append(*p.out, fmt.Sprintf("%d@%d", arg.N, p.s.Now()))
+	if arg.N > 0 {
+		p.s.ScheduleEvent(1, p, EventArg{N: arg.N - 1})
+		return
+	}
+	if p.rounds == 0 {
+		return
+	}
+	p.rounds--
+	p.link.SendEventTo(p.sink, 64, p.peer, EventArg{N: p.peer.chain})
+}
+
+// TestPDESSoloSprintMatchesSequential drives a workload dominated by
+// host-only compute phases — thousands of cycles where exactly one
+// partition has events — and requires byte-identical logs against the
+// sequential kernel plus evidence that sprint mode actually engaged.
+// Each phase is far longer than the lookahead window, so without
+// sprints it would advance in window-sized epoch hops.
+func TestPDESSoloSprintMatchesSequential(t *testing.T) {
+	const (
+		window     = 16
+		hostChain  = 5000 // long host-only phase; also crosses the ring once
+		otherChain = 40
+		rounds     = 3
+	)
+	run := func(pd *PDES) (hlog, rlog []string, proto ProtoStats) {
+		var hs, rs Scheduler
+		var toRemote, toHost EventSink
+		if pd != nil {
+			hs, rs = pd.Part(0), pd.Part(1)
+			toRemote, toHost = pd.Sink(0, 1), pd.Sink(1, 0)
+		} else {
+			k := NewKernel()
+			hs, rs = k, k
+			// Mirror machine wiring: cross-partition links always
+			// deliver through the early lane under either kernel.
+			toRemote, toHost = k.EarlySink(), k.EarlySink()
+		}
+		host := &phaseNode{s: hs, chain: hostChain, rounds: rounds, out: &hlog}
+		remote := &phaseNode{s: rs, chain: otherChain, rounds: rounds, out: &rlog}
+		host.link = NewLink(hs, 8, window)
+		host.sink = toRemote
+		host.peer = remote
+		remote.link = NewLink(rs, 8, window)
+		remote.sink = toHost
+		remote.peer = host
+		hs.AtEvent(0, host, EventArg{N: hostChain})
+		if pd != nil {
+			if err := pd.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if pd.Pending() != 0 {
+				t.Fatalf("%d events still pending", pd.Pending())
+			}
+			proto = pd.Proto()
+		} else {
+			hs.(*Kernel).Run()
+		}
+		return hlog, rlog, proto
+	}
+
+	seqH, seqR, _ := run(nil)
+	if len(seqH) == 0 || len(seqR) == 0 {
+		t.Fatal("sequential run produced empty logs")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		hlog, rlog, proto := run(NewPDES(window, 2, workers))
+		if fmt.Sprint(hlog) != fmt.Sprint(seqH) || fmt.Sprint(rlog) != fmt.Sprint(seqR) {
+			t.Fatalf("workers=%d logs diverged from sequential", workers)
+		}
+		if proto.SoloSprints == 0 {
+			t.Fatalf("workers=%d: no solo sprints on a host-phase workload (proto %+v)", workers, proto)
+		}
+		if proto.Epochs == 0 || proto.SoloSprints > proto.Epochs {
+			t.Fatalf("workers=%d: implausible counters %+v", workers, proto)
+		}
+		// The compute phases dominate: sprints must have collapsed the
+		// window-hop epochs (hostChain/window per phase without them).
+		if hops := uint64(hostChain / window); proto.Epochs >= hops {
+			t.Fatalf("workers=%d: %d epochs for a sprintable workload (un-sprinted floor %d)", workers, proto.Epochs, hops)
+		}
+		if proto.MailPostsMerged != uint64(2*rounds) {
+			t.Fatalf("workers=%d: %d posts merged, want %d", workers, proto.MailPostsMerged, 2*rounds)
+		}
+	}
+}

@@ -139,5 +139,9 @@ func (pd *PDES) RestoreFrom(r *snap.Reader) {
 		p.Kernel.Executed = 0
 	}
 	pd.parts[0].Kernel.Executed = executed
-	pd.horizon = 0
+	// The memoized next-event cycles predate the restore; force every
+	// partition to re-peek on the next epoch.
+	for i := range pd.stale {
+		pd.stale[i] = true
+	}
 }
