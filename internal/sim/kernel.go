@@ -360,15 +360,17 @@ func (k *Kernel) RunUntil(limit Cycle) {
 
 // RunUpTo dispatches events with cycle <= limit and leaves time at the
 // last dispatched event. Unlike RunUntil it never advances now into idle
-// time; the PDES epoch loop depends on that, because a partition's clock
-// must track the events it actually processed so the global minimum
-// (which bounds the next epoch window) stays exact.
+// time, so after a bounded run the clock still tracks the events
+// actually processed — the property a coordinating layer needs when the
+// clock feeds a global minimum (PDES.runPart keeps the same invariant,
+// but inlines its own loop because its limit shrinks mid-run and it
+// carries a dispatch budget; this fixed-limit form is for external
+// callers driving a lone Kernel).
 //
 // It returns the cycle of the earliest event still pending, or -1 if the
 // queue drained. The loop's exit paths have already computed it (the
-// over-limit ring scan or the far-heap head), so returning it is free —
-// and it is what lets the PDES epoch protocol skip re-peeking partitions
-// it just ran.
+// over-limit ring scan or the far-heap head), so returning it is free
+// and saves the caller a re-peek.
 func (k *Kernel) RunUpTo(limit Cycle) Cycle {
 	for {
 		if k.ringCount == 0 {

@@ -85,7 +85,9 @@ type inbox struct {
 // only sound if every post spans at least the lookahead window from the
 // sender's own clock — a nearer post is a hard modeling error (a
 // component communicated across partitions with less than the lookahead
-// latency) and panics rather than silently corrupting causality.
+// latency) and panics rather than silently corrupting causality. The
+// check applies from the first post: seeding a mailbox before Run must
+// target cycle >= window, the sender's clock still being 0.
 //
 // A post also shrinks the sender's own epoch limit: the receiver can
 // react no sooner than cycle+window, so a sender running past the fixed
@@ -149,12 +151,14 @@ type gang struct {
 	done sync.WaitGroup // per-epoch completion barrier
 }
 
-// runBatch bounds the events one partition may dispatch per Epoch call.
-// A solo partition with a self-perpetuating event chain would otherwise
-// turn one sprint epoch into an unbounded run, making Run's per-epoch
-// cancellation check worthless; breaking after a fixed dispatch count is
-// deterministic (the next epoch resumes the same run) and keeps
-// cancellation latency bounded by nparts×runBatch dispatches.
+// runBatch bounds the cycles one partition may dispatch per Epoch call
+// (one budget unit covers a whole calendar bucket: dispatch runs every
+// event scheduled for that cycle). A solo partition with a
+// self-perpetuating event chain would otherwise turn one sprint epoch
+// into an unbounded run, making Run's per-epoch cancellation check
+// worthless; breaking after a fixed count is deterministic (the next
+// epoch resumes the same run) and keeps cancellation latency bounded by
+// nparts×runBatch dispatched cycles' worth of events.
 const runBatch = 1 << 16
 
 // PDES is a conservative parallel discrete-event kernel: a fixed set of
@@ -348,7 +352,8 @@ func (pd *PDES) MaxNow() Cycle {
 
 // Run drives all partitions until every queue is empty. ctx is checked
 // once per epoch (partition runs are batched, so an epoch dispatches at
-// most nparts×runBatch events before the check). The persistent worker gang
+// most nparts×runBatch simulated cycles' worth of events before the
+// check). The persistent worker gang
 // is joined before Run returns, so an idle or abandoned ensemble holds
 // no goroutines; a later Run restarts it on demand.
 func (pd *PDES) Run(ctx context.Context) error {
@@ -551,6 +556,14 @@ func (pd *PDES) startGang() {
 	if n <= 0 {
 		return
 	}
+	// Workers enter the wait loop with a local generation of 0, so the
+	// shared counter must restart from 0 too: a restarted gang (second
+	// Run, Close-then-Run, recycled ensemble) would otherwise hand fresh
+	// workers a nonzero g.gen and admit them to an epoch the coordinator
+	// has not released yet. No worker is live here (g.n == 0 after the
+	// previous stopGang joined), and the go statements below publish the
+	// reset, so no lock is needed.
+	g.gen = 0
 	g.stop = false
 	g.n = n
 	g.join.Add(n)

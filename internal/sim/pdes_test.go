@@ -260,6 +260,65 @@ func TestPDESFarEventsAcrossEpochs(t *testing.T) {
 	}
 }
 
+// TestPDESGangRestartAcrossRuns drives one ensemble through several Run
+// calls — the harness's one-Run-per-phase shape — re-seeding work
+// between them, with workers > 1 so every Run stops and restarts the
+// persistent worker gang. The restart invariant under test: a fresh
+// gang's generation counter must rewind to 0 before workers spawn
+// (workers enter the wait loop at local generation 0), otherwise a
+// restarted worker sees the stale counter from the previous gang, skips
+// parking, and races the coordinator into an unreleased epoch. The
+// multi-restart sequence runs the exact window under -race; the
+// white-box check at the end pins the reset directly.
+func TestPDESGangRestartAcrossRuns(t *testing.T) {
+	const (
+		window  = 8
+		nparts  = 4
+		workers = 4
+		rounds  = 6
+	)
+	pd := NewPDES(window, nparts, workers)
+	var got, want []int64
+	h := &recorder{out: &got}
+	for r := 0; r < rounds; r++ {
+		// All sources post to partition 0 at one absolute cycle, beyond
+		// every sender's clock plus the window, so each round's arrivals
+		// merge in the canonical source-ascending order.
+		base := pd.MaxNow() + 1 + window
+		for src := 1; src < nparts; src++ {
+			src := src
+			n := int64(r*nparts + src)
+			want = append(want, n)
+			pd.Part(src).Schedule(1, func() {
+				pd.Sink(src, 0).PostEvent(base, h, EventArg{N: n})
+			})
+		}
+		if err := pd.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if pd.gang.n != 0 {
+			t.Fatalf("round %d: %d gang workers still live after Run", r, pd.gang.n)
+		}
+		if pd.gang.gen == 0 {
+			t.Fatalf("round %d: gang never released an epoch (no multi-partition epoch ran)", r)
+		}
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("arrival order diverged across gang restarts:\n got %v\nwant %v", got, want)
+	}
+	// White-box: restarting the gang must rewind the generation counter
+	// so freshly spawned workers (local generation 0) park until the
+	// coordinator releases the first epoch.
+	pd.startGang()
+	pd.gang.mu.Lock()
+	g := pd.gang.gen
+	pd.gang.mu.Unlock()
+	if g != 0 {
+		t.Fatalf("restarted gang generation = %d, want 0 (workers would skip parking)", g)
+	}
+	pd.stopGang()
+}
+
 // phaseNode models the shape solo sprints exist for: a long host-only
 // compute phase (a chain of back-to-back local events) followed by one
 // cross-partition handoff, ping-ponging between two partitions.
